@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_e*.py`` module regenerates one experiment from DESIGN.md's
+index: it prints a paper-style results table (and persists it under
+``benchmarks/results/``) and registers pytest-benchmark timings for the
+operation at the heart of the experiment.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.instrumentation import render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    note: str | None = None,
+    filename: str,
+) -> str:
+    """Render a results table, print it, and persist it to disk."""
+    text = render_table(title, headers, rows, note=note)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+    return text

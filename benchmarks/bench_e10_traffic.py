@@ -1,0 +1,91 @@
+"""E10 — protocol traffic by reporting level (Section 5.1's trade-off).
+
+Richer notifications are bigger, but they eliminate query/answer round
+trips; the net bytes on the wire can go either way depending on the
+workload.  "Sending queries and answers consumes time and network
+bandwidth, and leads to poor availability if a source is down" — so we
+also report the round-trip count, the availability-critical metric.
+
+Expected shape: notification bytes grow with level; query+answer bytes
+shrink faster, so total round trips drop monotonically.
+"""
+
+import pytest
+
+from _common import emit
+from repro.warehouse import (
+    CachePolicy,
+    ReportingLevel,
+    Source,
+    Warehouse,
+)
+from repro.workloads import UpdateStream, relations_db
+
+VIEW = "define mview HOT as: SELECT REL.r.tuple X WHERE X.age > 30"
+UPDATES = 30
+
+
+def measure(level: ReportingLevel):
+    store, root = relations_db(relations=2, tuples_per_relation=8, seed=59)
+    warehouse = Warehouse()
+    warehouse.connect(Source("S1", store, root), level=level)
+    wview = warehouse.define_view(VIEW, "S1", cache_policy=CachePolicy.NONE)
+    baseline = warehouse.log.snapshot()
+    stream = UpdateStream(
+        store,
+        seed=61,
+        protected=frozenset({root}),
+        labels_for_new=("age", "field0"),
+        value_range=(0, 60),
+    )
+    stream.run(UPDATES)
+    delta = warehouse.log.delta_since(baseline)
+    return wview, delta
+
+
+def run_experiment():
+    rows = []
+    members = None
+    for level in ReportingLevel:
+        wview, delta = measure(level)
+        if members is None:
+            members = sorted(wview.members())
+        assert sorted(wview.members()) == members
+        round_trips = delta.queries  # each query is one round trip
+        rows.append(
+            [
+                int(level),
+                delta.notification_bytes,
+                delta.query_bytes + delta.answers_bytes,
+                delta.total_bytes,
+                round_trips,
+                round(round_trips / UPDATES, 2),
+            ]
+        )
+    return rows
+
+
+def test_e10_table():
+    rows = run_experiment()
+    emit(
+        "E10: wire traffic per 30-update stream, by reporting level",
+        ["level", "notification bytes", "query+answer bytes",
+         "total bytes", "round trips", "round trips/update"],
+        rows,
+        note="notifications grow with level while query traffic and "
+        "round trips (the availability-critical metric) shrink",
+        filename="e10_traffic.txt",
+    )
+    assert rows[0][1] <= rows[1][1] <= rows[2][1], (
+        "notification bytes grow with level"
+    )
+    assert rows[0][4] > rows[2][4], "round trips must drop by level 3"
+
+
+@pytest.mark.benchmark(group="e10")
+@pytest.mark.parametrize("level", [1, 3])
+def test_e10_stream_cost(benchmark, level):
+    def op():
+        measure(ReportingLevel(level))
+
+    benchmark.pedantic(op, rounds=3, iterations=1)

@@ -1,0 +1,113 @@
+"""E5 — source queries per update by reporting level (Section 5.1).
+
+The paper enumerates three scenarios of what a source monitor reports:
+(1) OIDs only, (2) + contents of directly affected objects, (3) + the
+root path.  Richer reports let the warehouse screen irrelevant updates
+and answer Algorithm 1's evaluation functions locally.  We also compare
+a capable source (direct path queries) against a fetch-only source
+whose wrapper must decompose every function (Example 9).
+
+Expected shape: queries fall monotonically with the level; the weak
+source multiplies every remaining query.
+"""
+
+import pytest
+
+from _common import emit
+from repro.warehouse import (
+    CachePolicy,
+    ReportingLevel,
+    Source,
+    SourceCapability,
+    Warehouse,
+)
+from repro.workloads import insert_tuple, relations_db
+
+VIEW = "define mview HOT as: SELECT REL.r.tuple X WHERE X.age > 30"
+
+
+def workload(store):
+    """12 mixed updates: relevant, irrelevant, and off-view ones."""
+    insert_tuple(store, "R0", "w1", age=50)
+    insert_tuple(store, "R0", "w2", age=10)
+    insert_tuple(store, "R1", "w3", age=70)  # other relation
+    store.modify_value("age_w1", 5)
+    store.modify_value("age_w1", 65)
+    store.modify_value("f_w1_0", 123)  # filler field: irrelevant label
+    store.delete_edge("R0", "w2")
+    store.delete_edge("R0", "w1")
+
+
+def measure(level: ReportingLevel, capability: SourceCapability):
+    store, root = relations_db(relations=2, tuples_per_relation=10, seed=31)
+    source = Source("S1", store, root, capability=capability)
+    warehouse = Warehouse()
+    warehouse.connect(source, level=level)
+    wview = warehouse.define_view(VIEW, "S1", cache_policy=CachePolicy.NONE)
+    baseline = warehouse.log.snapshot()
+    workload(store)
+    delta = warehouse.log.delta_since(baseline)
+    return wview, delta
+
+
+def run_experiment():
+    rows = []
+    members = None
+    for capability in (
+        SourceCapability.PATH_QUERIES,
+        SourceCapability.FETCH_ONLY,
+    ):
+        for level in ReportingLevel:
+            wview, delta = measure(level, capability)
+            if members is None:
+                members = sorted(wview.members())
+            assert sorted(wview.members()) == members, "divergence!"
+            updates = wview.stats.notifications
+            rows.append(
+                [
+                    capability.name.lower(),
+                    int(level),
+                    delta.queries,
+                    round(delta.queries / updates, 2),
+                    wview.stats.screened,
+                    delta.total_bytes,
+                ]
+            )
+    return rows
+
+
+def test_e5_table():
+    rows = run_experiment()
+    emit(
+        "E5: warehouse source queries by reporting level (Section 5.1)",
+        ["source capability", "level", "queries", "queries/update",
+         "screened", "bytes"],
+        rows,
+        note="levels 2-3 screen irrelevant updates and answer path/eval "
+        "functions from the notification itself",
+        filename="e5_reporting_levels.txt",
+    )
+    strong = [r for r in rows if r[0] == "path_queries"]
+    assert strong[0][2] > strong[1][2] > strong[2][2], (
+        "queries must fall with reporting level"
+    )
+    weak = [r for r in rows if r[0] == "fetch_only"]
+    for strong_row, weak_row in zip(strong, weak):
+        assert weak_row[2] >= strong_row[2], (
+            "weak sources cannot beat capable ones"
+        )
+
+
+@pytest.mark.benchmark(group="e5")
+@pytest.mark.parametrize("level", [1, 2, 3])
+def test_e5_update_roundtrip(benchmark, level):
+    store, root = relations_db(relations=2, tuples_per_relation=10, seed=31)
+    warehouse = Warehouse()
+    warehouse.connect(Source("S1", store, root), level=ReportingLevel(level))
+    warehouse.define_view(VIEW, "S1")
+
+    def op():
+        store.modify_value("age_0_0", 55)
+        store.modify_value("age_0_0", 25)
+
+    benchmark(op)

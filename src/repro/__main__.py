@@ -1,0 +1,5 @@
+"""``python -m repro`` — the interactive GSDB shell."""
+
+from repro.cli import main
+
+raise SystemExit(main())

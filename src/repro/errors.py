@@ -1,0 +1,157 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Sub-hierarchies mirror the major
+subsystems: the object store, the path machinery, the query language, the
+view layer, the relational substrate, and the warehouse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Object store / data model
+# ---------------------------------------------------------------------------
+
+
+class GSDBError(ReproError):
+    """Base class for object-model and store errors."""
+
+
+class UnknownObjectError(GSDBError, KeyError):
+    """An OID was referenced that is not present in the store."""
+
+    def __init__(self, oid: str) -> None:
+        super().__init__(oid)
+        self.oid = oid
+
+    def __str__(self) -> str:  # KeyError quotes its arg; we want a message.
+        return f"unknown object: {self.oid!r}"
+
+
+class DuplicateObjectError(GSDBError):
+    """An object with the same OID already exists in the store."""
+
+    def __init__(self, oid: str) -> None:
+        super().__init__(f"duplicate object: {oid!r}")
+        self.oid = oid
+
+
+class TypeMismatchError(GSDBError):
+    """An operation required a set (or atomic) object but got the other."""
+
+
+class InvalidUpdateError(GSDBError):
+    """A basic update (insert/delete/modify) was not applicable."""
+
+
+class IntegrityError(GSDBError):
+    """A structural invariant of the database was violated.
+
+    Raised by :mod:`repro.gsdb.validation` when, e.g., a set value
+    references a missing OID, or a base claimed to be a tree contains a
+    node with two parents.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Paths
+# ---------------------------------------------------------------------------
+
+
+class PathError(ReproError):
+    """Base class for path and path-expression errors."""
+
+
+class PathSyntaxError(PathError):
+    """A path or path expression string could not be parsed."""
+
+    def __init__(self, text: str, position: int, message: str) -> None:
+        super().__init__(f"{message} at position {position} in {text!r}")
+        self.text = text
+        self.position = position
+
+
+# ---------------------------------------------------------------------------
+# Query language
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for query-language errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """A query string could not be tokenized or parsed."""
+
+    def __init__(self, text: str, position: int, message: str) -> None:
+        super().__init__(f"{message} at position {position} in {text!r}")
+        self.text = text
+        self.position = position
+
+
+class QueryEvaluationError(QueryError):
+    """A well-formed query failed during evaluation."""
+
+
+class UnknownDatabaseError(QueryError):
+    """A ``WITHIN`` or ``ANS INT`` clause named an unregistered database."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown database: {name!r}")
+        self.name = name
+
+
+# ---------------------------------------------------------------------------
+# Views
+# ---------------------------------------------------------------------------
+
+
+class ViewError(ReproError):
+    """Base class for view-layer errors."""
+
+
+class ViewDefinitionError(ViewError):
+    """A view definition is malformed or unsupported by a maintainer."""
+
+
+class MaintenanceError(ViewError):
+    """Incremental maintenance failed or detected an inconsistency."""
+
+
+class ViewConsistencyError(MaintenanceError):
+    """A maintained view diverged from its recomputed reference."""
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(ReproError):
+    """Base class for relational-substrate errors."""
+
+
+class SchemaError(RelationalError):
+    """A tuple did not match its table schema."""
+
+
+# ---------------------------------------------------------------------------
+# Warehouse
+# ---------------------------------------------------------------------------
+
+
+class WarehouseError(ReproError):
+    """Base class for warehouse-architecture errors."""
+
+
+class CapabilityError(WarehouseError):
+    """A source was asked a query beyond its declared capability."""
+
+
+class ProtocolError(WarehouseError):
+    """A malformed or out-of-order warehouse protocol message."""

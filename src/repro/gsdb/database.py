@@ -1,0 +1,179 @@
+"""Database objects and set operations on set objects.
+
+Paper Section 2: "A graph-structured database (GSDB) is an object whose
+set value contains the OIDs of all objects in this database."  A
+database object is a *conceptual aid* — grouping objects that are
+semantically related, frequently co-accessed, or co-located — not a
+special object type.  Queries use databases as entry points (``DB.?``)
+and as scopes (``WITHIN DB``, ``ANS INT DB``).
+
+Because a database object points at *every* member, its edges are not
+parent-child edges and must be excluded from tree traversal; the
+:class:`DatabaseRegistry` tracks which OIDs play this grouping role so
+indexes and validators can ignore them.
+
+This module also implements the paper's ``union``/``int`` operations on
+set objects (Section 2), which "are mainly used to manipulate database
+objects and query answers".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import TypeMismatchError, UnknownDatabaseError
+from repro.gsdb.object import Object
+from repro.gsdb.oid import OidGenerator
+from repro.gsdb.store import ObjectStore
+
+#: Default label for database objects (Example 2 uses ``database``).
+DATABASE_LABEL = "database"
+
+
+class DatabaseRegistry:
+    """Tracks which set objects in a store act as databases or views.
+
+    The registry answers two questions: "what OIDs does name X map to?"
+    (query scope resolution) and "which objects' edges should graph
+    algorithms ignore?" (grouping objects).
+    """
+
+    def __init__(self, store: ObjectStore) -> None:
+        self._store = store
+        self._databases: dict[str, str] = {}  # name -> database object OID
+
+    @property
+    def store(self) -> ObjectStore:
+        return self._store
+
+    def create_database(
+        self,
+        name: str,
+        members: Iterable[str] = (),
+        *,
+        label: str = DATABASE_LABEL,
+    ) -> Object:
+        """Create and register a database object named *name*.
+
+        The database object's OID is the name itself (the paper refers
+        to databases by name, e.g. ``PERSON``).
+        """
+        obj = self._store.add_set(name, label, members)
+        self._databases[name] = name
+        return obj
+
+    def register(self, name: str, oid: str) -> None:
+        """Register an existing set object *oid* as database *name*.
+
+        View objects are registered this way so queries can use a view
+        as a scope or entry point (paper Section 3.1).
+        """
+        obj = self._store.get(oid)
+        if not obj.is_set:
+            raise TypeMismatchError(
+                f"database object {oid!r} must be a set object"
+            )
+        self._databases[name] = oid
+
+    def unregister(self, name: str) -> None:
+        self._databases.pop(name, None)
+
+    def resolve(self, name: str) -> Object:
+        """Return the database object for *name*.
+
+        Raises:
+            UnknownDatabaseError: if not registered.
+        """
+        oid = self._databases.get(name)
+        if oid is None:
+            raise UnknownDatabaseError(name)
+        return self._store.get(oid)
+
+    def members(self, name: str) -> set[str]:
+        """Return the member OIDs of database *name*."""
+        return set(self.resolve(name).children())
+
+    def contains(self, name: str, oid: str) -> bool:
+        """True if *oid* is a member of database *name*."""
+        return oid in self.resolve(name).children()
+
+    def names(self) -> set[str]:
+        return set(self._databases)
+
+    def grouping_oids(self) -> set[str]:
+        """OIDs whose outgoing edges are grouping, not parent-child."""
+        return set(self._databases.values())
+
+    def add_member(self, name: str, oid: str) -> None:
+        """Add *oid* to database *name* via a normal ``insert`` update.
+
+        The paper: "Adding a new object O to a database DB can be
+        modeled as insert(DB, O)."
+        """
+        db = self.resolve(name)
+        if oid not in db.children():
+            self._store.insert_edge(db.oid, oid)
+
+    def remove_member(self, name: str, oid: str) -> None:
+        db = self.resolve(name)
+        if oid in db.children():
+            self._store.delete_edge(db.oid, oid)
+
+
+_result_oids = OidGenerator("setop")
+
+
+def union(
+    store: ObjectStore, first: Object, second: Object, *, oid: str | None = None
+) -> Object:
+    """The paper's ``union(S1, S2)``.
+
+    Returns a new set object whose value is ``value(S1) ∪ value(S2)``,
+    with an arbitrary unique OID and the label of S1 (Section 2).
+    """
+    _require_sets(first, second)
+    result = Object.set_object(
+        oid or _result_oids.fresh(),
+        first.label,
+        first.children() | second.children(),
+    )
+    store.add_object(result)
+    return result
+
+
+def intersect(
+    store: ObjectStore, first: Object, second: Object, *, oid: str | None = None
+) -> Object:
+    """The paper's ``int(S1, S2)``: value is ``value(S1) ∩ value(S2)``."""
+    _require_sets(first, second)
+    result = Object.set_object(
+        oid or _result_oids.fresh(),
+        first.label,
+        first.children() & second.children(),
+    )
+    store.add_object(result)
+    return result
+
+
+def difference(
+    store: ObjectStore, first: Object, second: Object, *, oid: str | None = None
+) -> Object:
+    """Set difference — not in the paper but needed to *remove* scopes
+    (e.g. revoking a view from a user's authorized union, Section 3.1).
+    """
+    _require_sets(first, second)
+    result = Object.set_object(
+        oid or _result_oids.fresh(),
+        first.label,
+        first.children() - second.children(),
+    )
+    store.add_object(result)
+    return result
+
+
+def _require_sets(*objects: Object) -> None:
+    for obj in objects:
+        if not obj.is_set:
+            raise TypeMismatchError(
+                f"set operation on atomic object {obj.oid!r}"
+            )

@@ -1,0 +1,223 @@
+"""Store indexes: the parent (inverse) index and the label index.
+
+Section 4.4 of the paper observes that the cost of ``ancestor(N, p)``
+hinges on whether the base database has an "inverse index" from each
+node to its parent; without one, evaluation "may require a traversal
+from ROOT to N".  :class:`ParentIndex` is that inverse index.
+:class:`LabelIndex` additionally maps labels to OIDs, which sources use
+to answer ``fetch``-style queries (Section 5.1) without scanning.
+
+Indexes subscribe to a store's update and creation streams and stay
+consistent automatically.  Lookups charge ``index_probes`` to the
+store's counters so experiment E8 can compare indexed and unindexed
+evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.gsdb.object import Object
+from repro.gsdb.store import ObjectStore
+from repro.gsdb.updates import Delete, Insert, Update
+
+
+class ParentIndex:
+    """Maps each OID to the set of parents that point at it.
+
+    In a tree every object has at most one parent (besides database or
+    view objects, which are excluded via *ignore_parents*); in a DAG it
+    may have several, which is exactly what the extended maintainer of
+    :mod:`repro.views.dag` needs.
+
+    Args:
+        store: the store to index; the index registers itself.
+        ignore_parents: OIDs (e.g. database objects, paper Section 2)
+            whose outgoing edges are *not* parent-child edges and must
+            not appear in the index.
+        ignore_labels: labels marking grouping artifacts whose edges are
+            membership, not structure.  Defaults to query ``answer``
+            objects (Section 2) and virtual ``view`` objects (Section
+            3.1), both of which hold member OIDs of objects that keep
+            their real parents elsewhere.
+    """
+
+    #: Labels of grouping artifacts ignored by default.
+    DEFAULT_IGNORED_LABELS = frozenset({"answer", "view"})
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        *,
+        ignore_parents: set[str] | None = None,
+        ignore_labels: frozenset[str] | None = None,
+    ) -> None:
+        self._store = store
+        self._ignored = set(ignore_parents or ())
+        self._ignored_prefixes: list[str] = []
+        self._ignored_labels = (
+            ignore_labels
+            if ignore_labels is not None
+            else self.DEFAULT_IGNORED_LABELS
+        )
+        self._parents: dict[str, set[str]] = {}
+        self._rebuild()
+        store.subscribe(self._on_update)
+        store.subscribe_creations(self._on_creation)
+
+    def _is_ignored(self, oid: str) -> bool:
+        if oid in self._ignored or any(
+            oid.startswith(prefix) for prefix in self._ignored_prefixes
+        ):
+            return True
+        obj = self._store.peek(oid)
+        return obj is not None and obj.label in self._ignored_labels
+
+    # -- construction --------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        self._parents.clear()
+        for oid in list(self._store.oids()):
+            obj = self._store.get_optional(oid)
+            if obj is not None and obj.is_set:
+                self._index_object(obj)
+
+    def _index_object(self, obj: Object) -> None:
+        if self._is_ignored(obj.oid):
+            return
+        for child in obj.children():
+            self._parents.setdefault(child, set()).add(obj.oid)
+
+    def ignore_parent(self, oid: str) -> None:
+        """Exclude *oid*'s outgoing edges (e.g. a new database object)."""
+        if oid in self._ignored:
+            return
+        self._ignored.add(oid)
+        self._drop_ignored_entries()
+
+    def ignore_prefix(self, prefix: str) -> None:
+        """Exclude every OID starting with *prefix* as a parent.
+
+        Materialized views living in the same store as their base use
+        this: the view object and its delegates (``MVJ``, ``MVJ.P1``,
+        ...) carry membership/copy edges, not base structure.
+        """
+        if prefix in self._ignored_prefixes:
+            return
+        self._ignored_prefixes.append(prefix)
+        self._drop_ignored_entries()
+
+    def ignore_view(self, view_oid: str) -> None:
+        """Exclude a materialized view's object and all its delegates."""
+        self.ignore_parent(view_oid)
+        self.ignore_prefix(view_oid + ".")
+
+    def _drop_ignored_entries(self) -> None:
+        for child in list(self._parents):
+            parents = self._parents[child]
+            drop = {p for p in parents if self._is_ignored(p)}
+            if drop:
+                parents -= drop
+                if not parents:
+                    del self._parents[child]
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _on_creation(self, obj: Object) -> None:
+        if obj.is_set:
+            self._index_object(obj)
+
+    def _on_update(self, update: Update) -> None:
+        if isinstance(update, Insert):
+            if not self._is_ignored(update.parent):
+                self._parents.setdefault(update.child, set()).add(
+                    update.parent
+                )
+        elif isinstance(update, Delete):
+            if not self._is_ignored(update.parent):
+                parents = self._parents.get(update.child)
+                if parents is not None:
+                    parents.discard(update.parent)
+                    if not parents:
+                        del self._parents[update.child]
+        # Modify does not change edges.
+
+    # -- lookup -----------------------------------------------------------------
+
+    def parents(self, oid: str) -> set[str]:
+        """Return the parents of *oid* (empty set if none)."""
+        self._store.counters.index_probes += 1
+        return set(self._parents.get(oid, ()))
+
+    def parent(self, oid: str) -> str | None:
+        """Return the unique parent of *oid*, or None if it has none.
+
+        Raises:
+            ValueError: if *oid* has more than one parent (the base is
+                not a tree); callers relying on tree structure should
+                surface this loudly rather than pick arbitrarily.
+        """
+        self._store.counters.index_probes += 1
+        parents = self._parents.get(oid)
+        if not parents:
+            return None
+        if len(parents) > 1:
+            raise ValueError(
+                f"object {oid!r} has {len(parents)} parents; base is not a tree"
+            )
+        return next(iter(parents))
+
+    def has_parent(self, oid: str) -> bool:
+        self._store.counters.index_probes += 1
+        return bool(self._parents.get(oid))
+
+    def roots(self) -> set[str]:
+        """Return all set-object OIDs with no recorded parent.
+
+        Database objects (ignored parents) are not counted as parents,
+        so a database's members with no other parent show up as roots.
+        """
+        roots: set[str] = set()
+        for oid in self._store.oids():
+            if self._is_ignored(oid):
+                continue
+            if not self._parents.get(oid):
+                roots.add(oid)
+        return roots
+
+
+class LabelIndex:
+    """Maps each label to the set of OIDs carrying it.
+
+    The paper's labels are non-unique (Section 2), so lookups return
+    sets.  Used by source wrappers to answer ``fetch X where
+    label(X) = l`` efficiently and by the warehouse screening step of
+    Section 5.1 (scenario 2).
+    """
+
+    def __init__(self, store: ObjectStore) -> None:
+        self._store = store
+        self._by_label: dict[str, set[str]] = {}
+        for oid in list(store.oids()):
+            obj = store.get_optional(oid)
+            if obj is not None:
+                self._by_label.setdefault(obj.label, set()).add(oid)
+        store.subscribe_creations(self._on_creation)
+
+    def _on_creation(self, obj: Object) -> None:
+        self._by_label.setdefault(obj.label, set()).add(obj.oid)
+
+    def forget(self, oid: str, label: str) -> None:
+        """Drop a removed object from the index (garbage collection)."""
+        oids = self._by_label.get(label)
+        if oids is not None:
+            oids.discard(oid)
+            if not oids:
+                del self._by_label[label]
+
+    def with_label(self, label: str) -> set[str]:
+        """Return all OIDs whose label equals *label*."""
+        self._store.counters.index_probes += 1
+        return set(self._by_label.get(label, ()))
+
+    def labels(self) -> set[str]:
+        """Return every label present in the store."""
+        return set(self._by_label)

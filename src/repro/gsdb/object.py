@@ -1,0 +1,196 @@
+"""The OEM object: ``<OID, label, type, value>``.
+
+Section 2 of the paper adopts the OEM model [PGMW95]: every object has a
+universally unique OID, a non-unique string label, a type, and a value.
+Objects are either *atomic* (integer, string, real, ...) or *set*-typed,
+in which case the value is a set of OIDs of other objects (the outgoing
+graph edges).
+
+Design notes
+------------
+* ``Object`` is a mutable class with ``__slots__``: set values change in
+  place under ``insert``/``delete`` updates and atomic values change
+  under ``modify``.  All mutation is expected to go through an
+  :class:`~repro.gsdb.store.ObjectStore` so listeners and indexes stay
+  consistent; direct mutation is for construction only.
+* The atomic type is normally inferred from the Python value (the paper
+  notes atomic types can be inferred; Figure 2 omits them), but callers
+  may pass an explicit domain type such as ``"dollar"`` (object ``S1`` in
+  Example 2 has type ``dollar``).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Iterator
+
+from repro.errors import TypeMismatchError
+
+#: The type tag of set-valued objects.
+SET_TYPE = "set"
+
+#: Python types allowed as atomic values, and their inferred type tags.
+_INFERRED_TYPES: tuple[tuple[type, str], ...] = (
+    (bool, "boolean"),  # must precede int: bool is a subclass of int
+    (int, "integer"),
+    (float, "real"),
+    (str, "string"),
+    (bytes, "binary"),
+)
+
+AtomicValue = bool | int | float | str | bytes
+
+
+def infer_atomic_type(value: AtomicValue) -> str:
+    """Return the inferred type tag for an atomic Python value.
+
+    >>> infer_atomic_type(45)
+    'integer'
+    >>> infer_atomic_type("John")
+    'string'
+    """
+    for python_type, tag in _INFERRED_TYPES:
+        if isinstance(value, python_type):
+            return tag
+    raise TypeMismatchError(
+        f"unsupported atomic value type: {type(value).__name__}"
+    )
+
+
+class Object:
+    """A single OEM object.
+
+    Attributes:
+        oid: the object identifier (unique within a store).
+        label: a descriptive, non-unique string (paper Section 2).
+        type: ``"set"`` for set objects, else an atomic type tag such as
+            ``"integer"``, ``"string"``, or a domain tag like ``"dollar"``.
+        value: a ``set[str]`` of child OIDs for set objects, or an atomic
+            Python value for atomic objects.
+    """
+
+    __slots__ = ("oid", "label", "type", "value")
+
+    def __init__(
+        self,
+        oid: str,
+        label: str,
+        type: str,
+        value: AtomicValue | AbstractSet[str] | Iterable[str],
+    ) -> None:
+        if not oid:
+            raise ValueError("OID must be a non-empty string")
+        if not isinstance(label, str):
+            raise TypeMismatchError("label must be a string")
+        self.oid = oid
+        self.label = label
+        self.type = type
+        if type == SET_TYPE:
+            if isinstance(value, (str, bytes)):
+                raise TypeMismatchError(
+                    "set object value must be an iterable of OIDs, "
+                    "not a single string"
+                )
+            self.value: AtomicValue | set[str] = set(value)
+        else:
+            if isinstance(value, (set, frozenset)):
+                raise TypeMismatchError(
+                    f"atomic object {oid!r} cannot hold a set value"
+                )
+            self.value = value
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def atomic(
+        cls, oid: str, label: str, value: AtomicValue, type: str | None = None
+    ) -> "Object":
+        """Build an atomic object, inferring the type tag if not given.
+
+        >>> Object.atomic("A1", "age", 45).type
+        'integer'
+        >>> Object.atomic("S1", "salary", 100_000, type="dollar").type
+        'dollar'
+        """
+        return cls(oid, label, type or infer_atomic_type(value), value)
+
+    @classmethod
+    def set_object(
+        cls, oid: str, label: str, children: Iterable[str] = ()
+    ) -> "Object":
+        """Build a set object whose value is the given child OIDs."""
+        return cls(oid, label, SET_TYPE, children)
+
+    # -- predicates and accessors -----------------------------------------
+
+    @property
+    def is_set(self) -> bool:
+        """True if this is a set (edge-bearing) object."""
+        return self.type == SET_TYPE
+
+    @property
+    def is_atomic(self) -> bool:
+        """True if this is an atomic (leaf-valued) object."""
+        return self.type != SET_TYPE
+
+    def children(self) -> set[str]:
+        """Return the child OID set of a set object.
+
+        Raises:
+            TypeMismatchError: on an atomic object.
+        """
+        if not self.is_set:
+            raise TypeMismatchError(f"object {self.oid!r} is atomic")
+        assert isinstance(self.value, set)
+        return self.value
+
+    def sorted_children(self) -> list[str]:
+        """Return child OIDs in sorted order (deterministic iteration)."""
+        return sorted(self.children())
+
+    def atomic_value(self) -> AtomicValue:
+        """Return the value of an atomic object.
+
+        Raises:
+            TypeMismatchError: on a set object.
+        """
+        if self.is_set:
+            raise TypeMismatchError(f"object {self.oid!r} is a set object")
+        assert not isinstance(self.value, set)
+        return self.value
+
+    # -- copying -----------------------------------------------------------
+
+    def copy(self, *, oid: str | None = None) -> "Object":
+        """Return a copy, optionally with a different OID.
+
+        Used when creating delegates: the delegate has a fresh semantic
+        OID but copies label, type, and value (paper Section 3.2).  Set
+        values are copied shallowly (a new ``set`` of the same OIDs).
+        """
+        value = set(self.value) if self.is_set else self.value
+        return Object(oid or self.oid, self.label, self.type, value)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Object):
+            return NotImplemented
+        return (
+            self.oid == other.oid
+            and self.label == other.label
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:  # hash by identity key only; value mutates
+        return hash(self.oid)
+
+    def __repr__(self) -> str:
+        if self.is_set:
+            inner = ", ".join(self.sorted_children())
+            return f"<{self.oid}, {self.label}, set, {{{inner}}}>"
+        return f"<{self.oid}, {self.label}, {self.type}, {self.value!r}>"
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate child OIDs of a set object in sorted order."""
+        return iter(self.sorted_children())

@@ -1,0 +1,95 @@
+"""Object identifiers (OIDs) and semantic delegate OIDs.
+
+The paper (Section 2) treats an OID as a universally unique identifier;
+Section 3.2 introduces *semantic OIDs* for delegates in materialized
+views: the delegate of base object ``P1`` in view ``MVJ`` has OID
+``MVJ.P1``.  Because views can be defined over views, delegate OIDs nest
+(``MV2.MVJ.P1``); splitting on the *first* separator recovers the view
+OID and the (possibly itself composite) base OID.
+
+OIDs in this library are plain strings, which keeps stores easy to
+serialize and interoperable with source-assigned identifiers.  The
+helpers in this module centralize the delegate-OID convention so that no
+other module hard-codes the separator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+#: Separator used to build delegate OIDs (paper Figure 3 uses ``MVJ.P1``).
+DELEGATE_SEPARATOR = "."
+
+
+def delegate_oid(view_oid: str, base_oid: str) -> str:
+    """Return the semantic OID of *base_oid*'s delegate in *view_oid*.
+
+    >>> delegate_oid("MVJ", "P1")
+    'MVJ.P1'
+    """
+    return f"{view_oid}{DELEGATE_SEPARATOR}{base_oid}"
+
+
+def split_delegate_oid(oid: str) -> tuple[str, str]:
+    """Split a delegate OID into ``(view_oid, base_oid)``.
+
+    Splitting happens at the first separator so views-of-views nest:
+
+    >>> split_delegate_oid("MV2.MVJ.P1")
+    ('MV2', 'MVJ.P1')
+
+    Raises:
+        ValueError: if *oid* contains no separator.
+    """
+    view, sep, base = oid.partition(DELEGATE_SEPARATOR)
+    if not sep or not view or not base:
+        raise ValueError(f"not a delegate OID: {oid!r}")
+    return view, base
+
+
+def is_delegate_of(oid: str, view_oid: str) -> bool:
+    """Return True if *oid* is a delegate OID belonging to *view_oid*."""
+    prefix = view_oid + DELEGATE_SEPARATOR
+    return oid.startswith(prefix) and len(oid) > len(prefix)
+
+
+def base_of_delegate(oid: str, view_oid: str) -> str:
+    """Return the base OID encoded in delegate *oid* of *view_oid*.
+
+    Raises:
+        ValueError: if *oid* is not a delegate of *view_oid*.
+    """
+    if not is_delegate_of(oid, view_oid):
+        raise ValueError(f"{oid!r} is not a delegate OID of view {view_oid!r}")
+    return oid[len(view_oid) + len(DELEGATE_SEPARATOR):]
+
+
+class OidGenerator:
+    """Deterministic generator of fresh OIDs with a common prefix.
+
+    The paper assumes OIDs can be arbitrary; workload generators and
+    query answers need fresh identifiers that are reproducible across
+    runs, so we use a simple counter rather than UUIDs.
+
+    >>> gen = OidGenerator("ans")
+    >>> gen.fresh(), gen.fresh()
+    ('ans1', 'ans2')
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def fresh(self) -> str:
+        """Return the next unused OID."""
+        return f"{self._prefix}{next(self._counter)}"
+
+    def fresh_many(self, count: int) -> Iterator[str]:
+        """Yield *count* fresh OIDs."""
+        for _ in range(count):
+            yield self.fresh()

@@ -1,0 +1,215 @@
+"""Textual serialization in the paper's angle-bracket syntax.
+
+Example 2 of the paper writes objects as
+
+    < P1, professor, set, {N1, A1, S1, P3} >
+    < N1, name, string, 'John' >
+
+with indentation as a visual aid.  This module dumps and parses that
+format (without relying on indentation — the set values carry the
+structure), so workload fixtures and example scripts can be read the
+same way the paper presents them.
+
+Atomic values are encoded as: single-quoted strings (with ``\\'`` and
+``\\\\`` escapes), bare integers, bare reals (containing ``.`` or ``e``),
+``true``/``false`` booleans.  A ``$`` or other non-numeric prefix-free
+token is rejected — use an explicit type tag and a plain number, e.g.
+``< S1, salary, dollar, 100000 >``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from typing import Iterable, TextIO
+
+from repro.errors import GSDBError
+from repro.gsdb.object import Object, SET_TYPE
+from repro.gsdb.store import ObjectStore
+
+_LINE_RE = re.compile(r"^\s*<\s*(?P<body>.*?)\s*>\s*$")
+
+
+class SerializationError(GSDBError):
+    """A line could not be parsed as an object."""
+
+
+# ---------------------------------------------------------------------------
+# Dumping
+# ---------------------------------------------------------------------------
+
+
+def dump_object(obj: Object) -> str:
+    """Render one object on one line in paper syntax."""
+    if obj.is_set:
+        inner = ", ".join(obj.sorted_children())
+        return f"< {obj.oid}, {obj.label}, set, {{{inner}}} >"
+    return (
+        f"< {obj.oid}, {obj.label}, {obj.type}, "
+        f"{_encode_value(obj.atomic_value())} >"
+    )
+
+
+def dump_store(
+    store: ObjectStore, *, oids: Iterable[str] | None = None
+) -> str:
+    """Render objects (all, or a chosen subset) one per line."""
+    selected = sorted(oids) if oids is not None else list(store.oids())
+    lines = [dump_object(store.get(oid)) for oid in selected]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_subtree(store: ObjectStore, root: str) -> str:
+    """Render *root* and its descendants with paper-style indentation.
+
+    Purely presentational (for examples and debugging); the indented
+    form is also parseable because indentation is ignored on input.
+    Shared or cyclic structure is rendered once and then referenced.
+    """
+    out = io.StringIO()
+    seen: set[str] = set()
+
+    def _write(oid: str, depth: int) -> None:
+        obj = store.get_optional(oid)
+        indent = "    " * depth
+        if obj is None:
+            out.write(f"{indent}< {oid}, ?, ?, ? >  (missing)\n")
+            return
+        out.write(indent + dump_object(obj) + "\n")
+        if not obj.is_set or oid in seen:
+            return
+        seen.add(oid)
+        for child in obj.sorted_children():
+            _write(child, depth + 1)
+
+    _write(root, 0)
+    return out.getvalue()
+
+
+def _encode_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise SerializationError(f"cannot encode value {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_object(line: str) -> Object:
+    """Parse one ``< OID, label, type, value >`` line."""
+    match = _LINE_RE.match(line)
+    if match is None:
+        raise SerializationError(f"not an object line: {line!r}")
+    body = match.group("body")
+    parts = _split_fields(body, line)
+    if len(parts) != 4:
+        raise SerializationError(
+            f"expected 4 fields, got {len(parts)}: {line!r}"
+        )
+    oid, label, type_tag, value_text = (part.strip() for part in parts)
+    if type_tag == SET_TYPE:
+        children = _parse_set(value_text, line)
+        return Object.set_object(oid, label, children)
+    return Object(oid, label, type_tag, _decode_value(value_text, line))
+
+
+def load_store(
+    text: str | TextIO,
+    store: ObjectStore | None = None,
+) -> ObjectStore:
+    """Parse many object lines into a store (creating one if needed).
+
+    Blank lines and ``#`` comments are skipped.  Reference checking is
+    deferred until all lines are read, then restored to the store's
+    setting.
+    """
+    if isinstance(text, str):
+        lines = text.splitlines()
+    else:
+        lines = text.read().splitlines()
+    if store is None:
+        store = ObjectStore()
+    previous = store.check_references
+    store.check_references = False
+    try:
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            store.add_object(parse_object(stripped))
+    finally:
+        store.check_references = previous
+    return store
+
+
+def _split_fields(body: str, line: str) -> list[str]:
+    """Split on commas at depth zero (set braces and quotes protect)."""
+    parts: list[str] = []
+    current: list[str] = []
+    depth = 0
+    in_string = False
+    i = 0
+    while i < len(body):
+        char = body[i]
+        if in_string:
+            current.append(char)
+            if char == "\\" and i + 1 < len(body):
+                current.append(body[i + 1])
+                i += 1
+            elif char == "'":
+                in_string = False
+        elif char == "'":
+            in_string = True
+            current.append(char)
+        elif char == "{":
+            depth += 1
+            current.append(char)
+        elif char == "}":
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        i += 1
+    if in_string or depth != 0:
+        raise SerializationError(f"unbalanced quotes or braces: {line!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_set(text: str, line: str) -> list[str]:
+    if not (text.startswith("{") and text.endswith("}")):
+        raise SerializationError(f"set value must be braced: {line!r}")
+    inner = text[1:-1].strip()
+    if not inner:
+        return []
+    return [part.strip() for part in inner.split(",")]
+
+
+def _decode_value(text: str, line: str):
+    if text.startswith("'"):
+        if not text.endswith("'") or len(text) < 2:
+            raise SerializationError(f"unterminated string: {line!r}")
+        inner = text[1:-1]
+        return inner.replace("\\'", "'").replace("\\\\", "\\")
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        if any(mark in text for mark in (".", "e", "E")):
+            return float(text)
+        return int(text)
+    except ValueError:
+        raise SerializationError(
+            f"cannot decode atomic value {text!r}: {line!r}"
+        ) from None

@@ -1,0 +1,119 @@
+"""Basic updates on a GSDB and the update log.
+
+Section 4.1 of the paper defines three basic updates:
+
+* ``insert(N1, N2)`` — add OID ``N2`` to ``value(N1)`` (``N1`` must be a
+  set object); ``N2`` becomes a child of ``N1``.
+* ``delete(N1, N2)`` — remove OID ``N2`` from ``value(N1)``.
+* ``modify(N, oldv, newv)`` — change the value of atomic object ``N``.
+
+Other operations reduce to these: creating an unreferenced object has no
+effect on queries; adding object ``O`` to database ``DB`` is
+``insert(DB, O)``; replacing a set value is a series of inserts and
+deletes.  Update records are immutable so they can be logged, shipped to
+a warehouse (Section 5), and replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Union
+
+from repro.gsdb.object import AtomicValue
+
+
+@dataclass(frozen=True, slots=True)
+class Insert:
+    """``insert(parent, child)`` — add an edge parent → child."""
+
+    parent: str
+    child: str
+
+    @property
+    def directly_affected(self) -> tuple[str, str]:
+        """OIDs directly involved in this update (paper Section 5.1)."""
+        return (self.parent, self.child)
+
+    def inverse(self) -> "Delete":
+        """Return the update that undoes this one."""
+        return Delete(self.parent, self.child)
+
+    def __str__(self) -> str:
+        return f"insert({self.parent}, {self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class Delete:
+    """``delete(parent, child)`` — remove the edge parent → child."""
+
+    parent: str
+    child: str
+
+    @property
+    def directly_affected(self) -> tuple[str, str]:
+        return (self.parent, self.child)
+
+    def inverse(self) -> "Insert":
+        return Insert(self.parent, self.child)
+
+    def __str__(self) -> str:
+        return f"delete({self.parent}, {self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class Modify:
+    """``modify(oid, old_value, new_value)`` on an atomic object."""
+
+    oid: str
+    old_value: AtomicValue
+    new_value: AtomicValue
+
+    @property
+    def directly_affected(self) -> tuple[str]:
+        return (self.oid,)
+
+    def inverse(self) -> "Modify":
+        return Modify(self.oid, self.new_value, self.old_value)
+
+    def __str__(self) -> str:
+        return f"modify({self.oid}, {self.old_value!r}, {self.new_value!r})"
+
+
+#: A basic update, as defined in paper Section 4.1.
+Update = Union[Insert, Delete, Modify]
+
+#: Signature of an update listener: called after the update is applied.
+UpdateListener = Callable[[Update], None]
+
+
+@dataclass
+class UpdateLog:
+    """An append-only log of applied updates.
+
+    Source monitors (Section 5) read this log to report changes to the
+    warehouse; tests replay it to reproduce store states.
+    """
+
+    entries: list[Update] = field(default_factory=list)
+
+    def append(self, update: Update) -> None:
+        self.entries.append(update)
+
+    def extend(self, updates: Iterable[Update]) -> None:
+        self.entries.extend(updates)
+
+    def since(self, position: int) -> list[Update]:
+        """Return all updates appended at or after *position*."""
+        return self.entries[position:]
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> Update:
+        return self.entries[index]

@@ -1,0 +1,179 @@
+"""Structural validation of a GSDB: referential integrity and shape.
+
+Algorithm 1 (paper Section 4) assumes tree-structured bases; the
+Section 6 relaxations cover DAGs.  This module classifies a store's
+structure so maintainers can check their preconditions, and verifies
+referential integrity (every OID appearing in a set value resolves).
+
+Grouping objects — databases and view objects — are excluded from shape
+analysis because their edges are membership, not parent-child structure
+(see :mod:`repro.gsdb.database`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import IntegrityError
+from repro.gsdb.store import ObjectStore
+
+
+class Shape(enum.Enum):
+    """Structural classification of the parent-child graph."""
+
+    TREE = "tree"  # every node has <= 1 parent, no cycles
+    FOREST = "forest"  # trees with multiple roots
+    DAG = "dag"  # multiple parents allowed, no cycles
+    CYCLIC = "cyclic"  # at least one directed cycle
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_store`."""
+
+    shape: Shape
+    dangling: dict[str, set[str]] = field(default_factory=dict)
+    multi_parent: dict[str, set[str]] = field(default_factory=dict)
+    roots: set[str] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        """True when referential integrity holds (shape is informative)."""
+        return not self.dangling
+
+    def raise_on_dangling(self) -> None:
+        if self.dangling:
+            parent, children = next(iter(sorted(self.dangling.items())))
+            raise IntegrityError(
+                f"dangling reference: {parent!r} -> {sorted(children)[0]!r} "
+                f"(and possibly more; {len(self.dangling)} parents affected)"
+            )
+
+
+def validate_store(
+    store: ObjectStore, *, ignore: Iterable[str] = ()
+) -> ValidationReport:
+    """Check referential integrity and classify the store's shape.
+
+    Args:
+        store: the store to inspect.
+        ignore: OIDs of grouping objects (databases, views) whose edges
+            are skipped; typically ``registry.grouping_oids()``.
+    """
+    ignored = set(ignore)
+    dangling: dict[str, set[str]] = {}
+    parents: dict[str, set[str]] = {}
+    set_oids: set[str] = set()
+
+    for obj in store.scan():
+        if not obj.is_set or obj.oid in ignored:
+            continue
+        set_oids.add(obj.oid)
+        for child in obj.children():
+            if child not in store:
+                dangling.setdefault(obj.oid, set()).add(child)
+            parents.setdefault(child, set()).add(obj.oid)
+
+    multi_parent = {
+        oid: ps for oid, ps in parents.items() if len(ps) > 1
+    }
+    roots = {
+        oid
+        for oid in set_oids
+        if not parents.get(oid)
+    }
+
+    shape = _classify(store, ignored, parents, multi_parent, roots)
+    return ValidationReport(
+        shape=shape, dangling=dangling, multi_parent=multi_parent, roots=roots
+    )
+
+
+def _classify(
+    store: ObjectStore,
+    ignored: set[str],
+    parents: dict[str, set[str]],
+    multi_parent: dict[str, set[str]],
+    roots: set[str],
+) -> Shape:
+    if _has_cycle(store, ignored):
+        return Shape.CYCLIC
+    if multi_parent:
+        return Shape.DAG
+    if len(roots) > 1:
+        return Shape.FOREST
+    return Shape.TREE
+
+
+def _has_cycle(store: ObjectStore, ignored: set[str]) -> bool:
+    """Detect a directed cycle among parent-child edges (iterative)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[str, int] = {}
+
+    for start in store.oids():
+        if color.get(start, WHITE) != WHITE or start in ignored:
+            continue
+        stack: list[tuple[str, iter]] = []
+        color[start] = GRAY
+        obj = store.get_optional(start)
+        if obj is None or not obj.is_set:
+            color[start] = BLACK
+            continue
+        stack.append((start, iter(sorted(obj.children()))))
+        while stack:
+            oid, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = color.get(child, WHITE)
+                if state == GRAY:
+                    return True
+                if state == WHITE and child not in ignored:
+                    child_obj = store.get_optional(child)
+                    color[child] = GRAY
+                    if child_obj is not None and child_obj.is_set:
+                        stack.append(
+                            (child, iter(sorted(child_obj.children())))
+                        )
+                        advanced = True
+                        break
+                    color[child] = BLACK
+            if not advanced:
+                color[oid] = BLACK
+                stack.pop()
+    return False
+
+
+def assert_tree_below(
+    store: ObjectStore, root: str, *, ignore: Iterable[str] = ()
+) -> None:
+    """Raise :class:`IntegrityError` unless the subgraph reachable from
+    *root* is a tree (Algorithm 1's precondition).
+
+    Grouping objects in *ignore* are treated as absent.
+    """
+    ignored = set(ignore)
+    parent_seen: dict[str, str] = {}
+    stack = [root]
+    visited = {root}
+    while stack:
+        oid = stack.pop()
+        if oid in ignored:
+            continue
+        obj = store.get_optional(oid)
+        if obj is None or not obj.is_set:
+            continue
+        for child in obj.children():
+            if child in parent_seen and parent_seen[child] != oid:
+                raise IntegrityError(
+                    f"not a tree: {child!r} reachable from both "
+                    f"{parent_seen[child]!r} and {oid!r}"
+                )
+            if child in visited and child not in parent_seen:
+                # child == root reached again -> cycle through root
+                raise IntegrityError(f"not a tree: cycle through {child!r}")
+            parent_seen[child] = oid
+            if child not in visited:
+                visited.add(child)
+                stack.append(child)

@@ -1,0 +1,25 @@
+"""Instrumentation: logical cost counters, metering, and report tables.
+
+The paper's evaluation is framed in base-data accesses and source
+queries (Sections 4.4 and 5.1), not seconds; these utilities make those
+costs first-class alongside pytest-benchmark wall time.
+"""
+
+from repro.instrumentation.counters import CostCounters
+from repro.instrumentation.metering import Meter, MeterSeries
+from repro.instrumentation.reporting import (
+    format_cell,
+    print_table,
+    ratio,
+    render_table,
+)
+
+__all__ = [
+    "CostCounters",
+    "Meter",
+    "MeterSeries",
+    "format_cell",
+    "print_table",
+    "ratio",
+    "render_table",
+]

@@ -1,0 +1,130 @@
+"""Logical cost counters.
+
+The paper argues about costs in terms of *base-data accesses* and
+*source queries* (Sections 4.4 and 5.1), not wall-clock time.  Every
+store, index, and warehouse component in this library therefore charges
+its work to a :class:`CostCounters` instance, and the benchmark harness
+reports these logical costs alongside pytest-benchmark timings.
+
+Counter semantics
+-----------------
+``object_reads``      lookups of an object by OID in a store
+``object_writes``     creations / value mutations in a store
+``object_scans``      objects visited during a full-store scan
+``index_probes``      lookups answered by an index (parent / label)
+``edge_traversals``   parent→child edge followings during traversal
+``source_queries``    queries sent from a warehouse to a source
+``messages_sent``     warehouse protocol messages (either direction)
+``bytes_sent``        estimated payload bytes of those messages
+``delegates_inserted``/``delegates_deleted``/``delegates_refreshed``
+                      materialized-view churn
+``view_recomputations`` full recomputations performed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class CostCounters:
+    """A mutable bundle of named counters.
+
+    Counters support addition, difference (snapshot deltas), and
+    conversion to a plain dict for reporting.
+    """
+
+    object_reads: int = 0
+    object_writes: int = 0
+    object_scans: int = 0
+    index_probes: int = 0
+    edge_traversals: int = 0
+    source_queries: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    delegates_inserted: int = 0
+    delegates_deleted: int = 0
+    delegates_refreshed: int = 0
+    view_recomputations: int = 0
+    notes: dict[str, int] = field(default_factory=dict)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def snapshot(self) -> "CostCounters":
+        """Return an independent copy of the current counts."""
+        clone = CostCounters()
+        for f in fields(self):
+            if f.name == "notes":
+                clone.notes = dict(self.notes)
+            else:
+                setattr(clone, f.name, getattr(self, f.name))
+        return clone
+
+    def delta_since(self, earlier: "CostCounters") -> "CostCounters":
+        """Return counts accumulated since *earlier* (a snapshot)."""
+        delta = CostCounters()
+        for f in fields(self):
+            if f.name == "notes":
+                delta.notes = {
+                    key: self.notes.get(key, 0) - earlier.notes.get(key, 0)
+                    for key in set(self.notes) | set(earlier.notes)
+                }
+            else:
+                setattr(
+                    delta,
+                    f.name,
+                    getattr(self, f.name) - getattr(earlier, f.name),
+                )
+        return delta
+
+    def add(self, other: "CostCounters") -> None:
+        """Accumulate *other* into this instance."""
+        for f in fields(self):
+            if f.name == "notes":
+                for key, count in other.notes.items():
+                    self.notes[key] = self.notes.get(key, 0) + count
+            else:
+                setattr(
+                    self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in fields(self):
+            if f.name == "notes":
+                self.notes.clear()
+            else:
+                setattr(self, f.name, 0)
+
+    def note(self, key: str, amount: int = 1) -> None:
+        """Bump a free-form named counter (for experiment-local metrics)."""
+        self.notes[key] = self.notes.get(key, 0) + amount
+
+    # -- reporting ---------------------------------------------------------
+
+    def total_base_accesses(self) -> int:
+        """The paper's headline cost: touches of base data.
+
+        Reads, scans, and edge traversals all hit base objects; index
+        probes are counted separately because the paper treats indexes
+        as the thing that *avoids* base access (Section 4.4).
+        """
+        return self.object_reads + self.object_scans + self.edge_traversals
+
+    def as_dict(self) -> dict[str, int]:
+        """Return all non-zero counters as a flat dict."""
+        result: dict[str, int] = {}
+        for f in fields(self):
+            if f.name == "notes":
+                result.update(
+                    {k: v for k, v in sorted(self.notes.items()) if v}
+                )
+            else:
+                value = getattr(self, f.name)
+                if value:
+                    result[f.name] = value
+        return result
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"CostCounters({inner})"

@@ -1,0 +1,96 @@
+"""Metering contexts: capture counter deltas (and wall time) around a
+block of work.
+
+Usage::
+
+    with Meter(store.counters) as meter:
+        maintainer.handle(update)
+    print(meter.delta.total_base_accesses(), meter.elapsed)
+
+Multiple counters can be watched at once (e.g. a base store and a view
+store), and a :class:`MeterSeries` accumulates per-operation deltas for
+experiment reporting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.instrumentation.counters import CostCounters
+
+
+class Meter:
+    """Context manager capturing one counters delta and elapsed time."""
+
+    def __init__(self, *counters: CostCounters) -> None:
+        if not counters:
+            raise ValueError("Meter needs at least one CostCounters")
+        self._counters = counters
+        self._snapshots: list[CostCounters] = []
+        self._start = 0.0
+        self.elapsed = 0.0
+        self.delta = CostCounters()
+
+    def __enter__(self) -> "Meter":
+        self._snapshots = [c.snapshot() for c in self._counters]
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self.delta = CostCounters()
+        for counters, snapshot in zip(self._counters, self._snapshots):
+            self.delta.add(counters.delta_since(snapshot))
+
+
+@dataclass
+class MeterSeries:
+    """Accumulates per-operation meter results for a labelled series."""
+
+    label: str
+    deltas: list[CostCounters] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    def record(self, meter: Meter) -> None:
+        self.deltas.append(meter.delta)
+        self.times.append(meter.elapsed)
+
+    def measure(self, *counters: CostCounters):
+        """A context manager that records into this series on exit."""
+        series = self
+
+        class _Recorder(Meter):
+            def __exit__(self, exc_type, exc, tb) -> None:
+                super().__exit__(exc_type, exc, tb)
+                series.record(self)
+
+        return _Recorder(*counters)
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def operations(self) -> int:
+        return len(self.deltas)
+
+    def total(self, counter_name: str) -> int:
+        return sum(getattr(d, counter_name) for d in self.deltas)
+
+    def mean(self, counter_name: str) -> float:
+        if not self.deltas:
+            return 0.0
+        return self.total(counter_name) / len(self.deltas)
+
+    def total_base_accesses(self) -> int:
+        return sum(d.total_base_accesses() for d in self.deltas)
+
+    def mean_base_accesses(self) -> float:
+        if not self.deltas:
+            return 0.0
+        return self.total_base_accesses() / len(self.deltas)
+
+    def total_time(self) -> float:
+        return sum(self.times)
+
+    def mean_time(self) -> float:
+        return sum(self.times) / len(self.times) if self.times else 0.0

@@ -1,0 +1,65 @@
+"""Plain-text result tables for the benchmark harness.
+
+Every benchmark prints one or more tables in the style of a paper's
+results section, via :func:`render_table`.  Keeping rendering here
+means benches contain only measurement logic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    note: str | None = None,
+) -> str:
+    """Render an aligned ASCII table with a title and optional footnote."""
+    cells = [[format_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    note: str | None = None,
+) -> None:
+    print()
+    print(render_table(title, headers, rows, note=note))
+    print()
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe ratio for 'speedup' columns."""
+    if denominator == 0:
+        return float("inf") if numerator else 1.0
+    return numerator / denominator

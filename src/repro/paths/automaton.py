@@ -1,0 +1,204 @@
+"""NFA compilation and graph evaluation of path expressions.
+
+A path expression with segments ``s0 ... s(n-1)`` compiles to an NFA
+whose states are positions ``0..n`` ("about to match segment i"), with:
+
+* a ``LabelSegment``/``AnyLabelSegment`` at position i consuming one
+  matching label and moving i → i+1;
+* an ``AnyPathSegment`` (``*``) at position i adding an ε-move i → i+1
+  (match zero labels) and a self-loop consuming any label.
+
+State n is accepting.  The state space is tiny (|expression|+1), so we
+run the NFA in subset form: a frozenset of positions.  Evaluating
+``N.e`` on a store is then a product search over (object, state-set)
+pairs; memoizing visited pairs makes it terminate on cyclic graphs.
+
+The compiled automaton also exposes *residual* operations used by the
+extended view maintainer (:mod:`repro.views.extended`): feed it a known
+prefix path (``path(ROOT, N1) + label(N2)``) and continue matching only
+in the affected subtree.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.gsdb.store import ObjectStore
+from repro.paths.expression import (
+    AnyPathSegment,
+    PathExpression,
+    Segment,
+)
+
+StateSet = frozenset[int]
+
+
+class PathNFA:
+    """Compiled form of a :class:`PathExpression`."""
+
+    def __init__(self, expression: PathExpression) -> None:
+        self.expression = expression
+        self._segments: tuple[Segment, ...] = expression.segments
+        self._accept = len(self._segments)
+
+    # -- core NFA operations -----------------------------------------------------
+
+    def initial(self) -> StateSet:
+        """The ε-closure of the start state."""
+        return self._closure({0})
+
+    def _closure(self, states: Iterable[int]) -> StateSet:
+        """ε-closure: skip over ``*`` segments without consuming."""
+        result = set(states)
+        stack = list(result)
+        while stack:
+            state = stack.pop()
+            if state < self._accept and isinstance(
+                self._segments[state], AnyPathSegment
+            ):
+                target = state + 1
+                if target not in result:
+                    result.add(target)
+                    stack.append(target)
+        return frozenset(result)
+
+    def step(self, states: StateSet, label: str) -> StateSet:
+        """Consume one *label* from every state in *states*."""
+        moved: set[int] = set()
+        for state in states:
+            if state >= self._accept:
+                continue
+            segment = self._segments[state]
+            if isinstance(segment, AnyPathSegment):
+                moved.add(state)  # self-loop consumes the label
+            elif segment.matches(label):
+                moved.add(state + 1)
+        return self._closure(moved)
+
+    def is_accepting(self, states: StateSet) -> bool:
+        return self._accept in states
+
+    def is_dead(self, states: StateSet) -> bool:
+        return not states
+
+    def accepts(self, labels: Sequence[str]) -> bool:
+        """Instance test: does the label sequence match the expression?"""
+        states = self.initial()
+        for label in labels:
+            states = self.step(states, label)
+            if not states:
+                return False
+        return self.is_accepting(states)
+
+    def residual(self, labels: Sequence[str]) -> StateSet:
+        """State set after consuming *labels* from the start."""
+        states = self.initial()
+        for label in labels:
+            states = self.step(states, label)
+            if not states:
+                break
+        return states
+
+    # -- graph evaluation ---------------------------------------------------------
+
+    def evaluate(
+        self,
+        store: ObjectStore,
+        start: str,
+        *,
+        from_states: StateSet | None = None,
+    ) -> set[str]:
+        """Return ``start.e`` — every object reached along an instance.
+
+        With *from_states*, evaluation continues an already-consumed
+        prefix (the residual trick used for incremental maintenance of
+        wildcard views).  The start object itself is included when the
+        (residual) expression accepts the empty path.
+
+        Cycle-safe: each (object, state-set) pair is expanded once.
+        """
+        initial = self.initial() if from_states is None else from_states
+        if not initial:
+            return set()
+        results: set[str] = set()
+        if self.is_accepting(initial):
+            results.add(start)
+        seen: set[tuple[str, StateSet]] = {(start, initial)}
+        stack: list[tuple[str, StateSet]] = [(start, initial)]
+        while stack:
+            oid, states = stack.pop()
+            obj = store.get_optional(oid)
+            if obj is None or not obj.is_set:
+                continue
+            for child in obj.children():
+                store.counters.edge_traversals += 1
+                child_obj = store.get_optional(child)
+                if child_obj is None:
+                    continue
+                next_states = self.step(states, child_obj.label)
+                if not next_states:
+                    continue
+                if self.is_accepting(next_states):
+                    results.add(child)
+                key = (child, next_states)
+                if key not in seen:
+                    seen.add(key)
+                    stack.append(key)
+        return results
+
+    def evaluate_with_paths(
+        self, store: ObjectStore, start: str, *, max_depth: int = 64
+    ) -> dict[str, list[tuple[str, ...]]]:
+        """Like :meth:`evaluate` but also reports matching label paths.
+
+        Used by tests to cross-check NFA evaluation against brute-force
+        instance enumeration, and by the DAG maintainer to count
+        derivations.  *max_depth* bounds exploration on cyclic graphs
+        (each matched path is simple in states but may revisit objects).
+        """
+        results: dict[str, list[tuple[str, ...]]] = {}
+        initial = self.initial()
+        if self.is_accepting(initial):
+            results.setdefault(start, []).append(())
+
+        def _walk(oid: str, states: StateSet, labels: tuple[str, ...]) -> None:
+            if len(labels) >= max_depth:
+                return
+            obj = store.get_optional(oid)
+            if obj is None or not obj.is_set:
+                return
+            for child in sorted(obj.children()):
+                store.counters.edge_traversals += 1
+                child_obj = store.get_optional(child)
+                if child_obj is None:
+                    continue
+                next_states = self.step(states, child_obj.label)
+                if not next_states:
+                    continue
+                next_labels = labels + (child_obj.label,)
+                if self.is_accepting(next_states):
+                    paths = results.setdefault(child, [])
+                    if next_labels not in paths:
+                        paths.append(next_labels)
+                _walk(child, next_states, next_labels)
+
+        _walk(start, initial, ())
+        return results
+
+
+@lru_cache(maxsize=512)
+def _compile_cached(expression: PathExpression) -> PathNFA:
+    return PathNFA(expression)
+
+
+def compile_expression(expression: PathExpression) -> PathNFA:
+    """Compile (with caching — expressions are immutable and hashable)."""
+    return _compile_cached(expression)
+
+
+def evaluate_expression(
+    store: ObjectStore, start: str, expression: PathExpression
+) -> set[str]:
+    """Convenience: ``start.expression`` on *store* (paper's ``N.e``)."""
+    return compile_expression(expression).evaluate(store, start)

@@ -1,0 +1,189 @@
+"""Path-expression containment and emptiness tests.
+
+Section 6 of the paper: maintaining views whose paths are general path
+expressions requires "test[ing] path containment for general path
+expressions".  This module decides, for two expressions ``e1`` and
+``e2``, whether every instance of ``e1`` is an instance of ``e2``
+(``e1 ⊑ e2``).
+
+The label alphabet is unbounded, so we work over the *relevant*
+alphabet: the concrete labels mentioned by either expression plus one
+fresh symbol ``OTHER`` standing for "any label not mentioned".  Both
+``?`` and ``*`` match ``OTHER``; a :class:`LabelSegment` never does.
+Containment over this finite alphabet coincides with containment over
+the unbounded one because the expressions cannot distinguish two
+unmentioned labels.
+
+Decision procedure: determinize ``e2`` by subset construction, then
+search the product of ``e1``'s NFA with the DFA for a word accepted by
+``e1`` but not ``e2``.
+"""
+
+from __future__ import annotations
+
+from repro.paths.automaton import StateSet, compile_expression
+from repro.paths.expression import PathExpression
+
+#: Stand-in for any label not mentioned by either expression.
+OTHER_LABEL = "\x00other"
+
+
+def relevant_alphabet(*expressions: PathExpression) -> list[str]:
+    """Concrete labels mentioned by the expressions, plus ``OTHER``."""
+    labels: set[str] = set()
+    for expression in expressions:
+        labels.update(expression.mentioned_labels())
+    return sorted(labels) + [OTHER_LABEL]
+
+
+def is_contained(inner: PathExpression, outer: PathExpression) -> bool:
+    """True iff every instance path of *inner* is an instance of *outer*.
+
+    >>> e = PathExpression.parse
+    >>> is_contained(e("professor.age"), e("professor.*"))
+    True
+    >>> is_contained(e("professor.*"), e("professor.age"))
+    False
+    >>> is_contained(e("a.?"), e("a.*"))
+    True
+    """
+    return _counterexample(inner, outer) is None
+
+
+def containment_counterexample(
+    inner: PathExpression, outer: PathExpression
+) -> list[str] | None:
+    """Return a shortest instance of *inner* not matching *outer*.
+
+    ``None`` means containment holds.  ``OTHER`` symbols in the witness
+    are replaced by a readable fresh label.
+    """
+    witness = _counterexample(inner, outer)
+    if witness is None:
+        return None
+    return [
+        "fresh_label" if symbol == OTHER_LABEL else symbol
+        for symbol in witness
+    ]
+
+
+def _counterexample(
+    inner: PathExpression, outer: PathExpression
+) -> list[str] | None:
+    alphabet = relevant_alphabet(inner, outer)
+    inner_nfa = compile_expression(inner)
+    outer_nfa = compile_expression(outer)
+
+    # Product BFS: (inner NFA state-set, outer NFA state-set).  The
+    # outer side is effectively determinized by tracking state-sets.
+    start = (inner_nfa.initial(), outer_nfa.initial())
+    if inner_nfa.is_accepting(start[0]) and not outer_nfa.is_accepting(
+        start[1]
+    ):
+        return []
+    seen: set[tuple[StateSet, StateSet]] = {start}
+    frontier: list[tuple[tuple[StateSet, StateSet], list[str]]] = [
+        (start, [])
+    ]
+    while frontier:
+        next_frontier: list[tuple[tuple[StateSet, StateSet], list[str]]] = []
+        for (inner_states, outer_states), word in frontier:
+            for symbol in alphabet:
+                new_inner = inner_nfa.step(inner_states, symbol)
+                if not new_inner:
+                    continue  # inner rejects; cannot yield counterexamples
+                new_outer = outer_nfa.step(outer_states, symbol)
+                new_word = word + [symbol]
+                if inner_nfa.is_accepting(new_inner) and not (
+                    outer_nfa.is_accepting(new_outer)
+                ):
+                    return new_word
+                key = (new_inner, new_outer)
+                if key not in seen:
+                    seen.add(key)
+                    next_frontier.append((key, new_word))
+        frontier = next_frontier
+    return None
+
+
+def are_equivalent(first: PathExpression, second: PathExpression) -> bool:
+    """True iff the two expressions have exactly the same instances."""
+    return is_contained(first, second) and is_contained(second, first)
+
+
+def is_empty_intersection(
+    first: PathExpression, second: PathExpression
+) -> bool:
+    """True iff no path is an instance of both expressions.
+
+    Used by the warehouse's path-knowledge screening (Section 5.2): if
+    the path to an updated object cannot intersect the view's paths,
+    the update is irrelevant.
+    """
+    return intersection_witness(first, second) is None
+
+
+def intersection_witness(
+    first: PathExpression, second: PathExpression
+) -> list[str] | None:
+    """A shortest common instance of both expressions, or None."""
+    alphabet = relevant_alphabet(first, second)
+    first_nfa = compile_expression(first)
+    second_nfa = compile_expression(second)
+    start = (first_nfa.initial(), second_nfa.initial())
+    if first_nfa.is_accepting(start[0]) and second_nfa.is_accepting(start[1]):
+        return []
+    seen: set[tuple[StateSet, StateSet]] = {start}
+    frontier: list[tuple[tuple[StateSet, StateSet], list[str]]] = [(start, [])]
+    while frontier:
+        next_frontier: list[tuple[tuple[StateSet, StateSet], list[str]]] = []
+        for (first_states, second_states), word in frontier:
+            for symbol in alphabet:
+                new_first = first_nfa.step(first_states, symbol)
+                new_second = second_nfa.step(second_states, symbol)
+                if not new_first or not new_second:
+                    continue
+                new_word = word + [symbol]
+                if first_nfa.is_accepting(new_first) and second_nfa.is_accepting(
+                    new_second
+                ):
+                    return [
+                        "fresh_label" if s == OTHER_LABEL else s
+                        for s in new_word
+                    ]
+                key = (new_first, new_second)
+                if key not in seen:
+                    seen.add(key)
+                    next_frontier.append((key, new_word))
+        frontier = next_frontier
+    return None
+
+
+def shortest_instance(expression: PathExpression) -> list[str] | None:
+    """A shortest instance path of *expression* (None if language empty —
+    which cannot happen for our segment grammar, but the API is total)."""
+    alphabet = relevant_alphabet(expression)
+    nfa = compile_expression(expression)
+    start = nfa.initial()
+    if nfa.is_accepting(start):
+        return []
+    seen: set[StateSet] = {start}
+    frontier: list[tuple[StateSet, list[str]]] = [(start, [])]
+    while frontier:
+        next_frontier: list[tuple[StateSet, list[str]]] = []
+        for states, word in frontier:
+            for symbol in alphabet:
+                new_states = nfa.step(states, symbol)
+                if not new_states:
+                    continue
+                new_word = word + [symbol]
+                if nfa.is_accepting(new_states):
+                    return [
+                        "fresh_label" if s == OTHER_LABEL else s
+                        for s in new_word
+                    ]
+                if new_states not in seen:
+                    seen.add(new_states)
+                    next_frontier.append((new_states, new_word))
+        frontier = next_frontier
+    return None

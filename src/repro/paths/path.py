@@ -1,0 +1,130 @@
+"""Constant label paths.
+
+Paper Section 2: "A path is a sequence of zero or more object labels
+separated by dots: ``p = l1.l2...ln``".  Simple views (Section 4.2) are
+defined entirely with constant paths, so they get a small dedicated
+type; path *expressions* with wildcards live in
+:mod:`repro.paths.expression`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import PathSyntaxError
+
+
+class Path:
+    """An immutable sequence of labels.
+
+    Behaves like a tuple of labels with path-specific helpers
+    (concatenation, prefix/suffix tests) used throughout Algorithm 1.
+
+    >>> p = Path.parse("professor.student")
+    >>> list(p)
+    ['professor', 'student']
+    >>> str(p + Path.parse("age"))
+    'professor.student.age'
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Sequence[str] = ()) -> None:
+        labels = tuple(labels)
+        for label in labels:
+            if not label or "." in label:
+                raise PathSyntaxError(
+                    ".".join(labels), 0, f"invalid label {label!r}"
+                )
+        self._labels = labels
+
+    @classmethod
+    def parse(cls, text: str) -> "Path":
+        """Parse dotted-label syntax; the empty string is the empty path."""
+        text = text.strip()
+        if not text:
+            return cls(())
+        return cls(tuple(text.split(".")))
+
+    # -- sequence protocol ----------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def __getitem__(self, index):
+        result = self._labels[index]
+        return Path(result) if isinstance(index, slice) else result
+
+    def __bool__(self) -> bool:
+        return bool(self._labels)
+
+    # -- path algebra -----------------------------------------------------------
+
+    def __add__(self, other: "Path | Sequence[str]") -> "Path":
+        other_labels = other.labels if isinstance(other, Path) else tuple(other)
+        return Path(self._labels + tuple(other_labels))
+
+    def startswith(self, prefix: "Path | Sequence[str]") -> bool:
+        """True if *prefix* is a prefix of this path."""
+        labels = prefix.labels if isinstance(prefix, Path) else tuple(prefix)
+        return self._labels[: len(labels)] == tuple(labels)
+
+    def endswith(self, suffix: "Path | Sequence[str]") -> bool:
+        """True if *suffix* is a suffix of this path.
+
+        Algorithm 1's delete case tests ``p = p1.cond_path`` — i.e.
+        whether ``cond_path`` is a suffix of ``p``.
+        """
+        labels = suffix.labels if isinstance(suffix, Path) else tuple(suffix)
+        if not labels:
+            return True
+        return self._labels[-len(labels):] == tuple(labels)
+
+    def strip_prefix(self, prefix: "Path | Sequence[str]") -> "Path | None":
+        """Return the remainder after *prefix*, or None if not a prefix.
+
+        Algorithm 1 computes ``p`` from
+        ``sel_path.cond_path = path(ROOT,N1).label(N2).p`` this way.
+        """
+        labels = prefix.labels if isinstance(prefix, Path) else tuple(prefix)
+        if not self.startswith(labels):
+            return None
+        return Path(self._labels[len(labels):])
+
+    def strip_suffix(self, suffix: "Path | Sequence[str]") -> "Path | None":
+        """Return the front part before *suffix*, or None if not a suffix."""
+        labels = suffix.labels if isinstance(suffix, Path) else tuple(suffix)
+        if not self.endswith(labels):
+            return None
+        if not labels:
+            return self
+        return Path(self._labels[: -len(labels)])
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Path):
+            return self._labels == other._labels
+        if isinstance(other, (tuple, list)):
+            return self._labels == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._labels)
+
+    def __repr__(self) -> str:
+        return f"Path({str(self)!r})"
+
+    def __str__(self) -> str:
+        return ".".join(self._labels)
+
+
+#: The empty path (``N.ε = {N}``).
+EMPTY_PATH = Path(())

@@ -1,0 +1,44 @@
+"""Query answers as objects.
+
+Paper Section 2: "A query answer is also an object, with the format
+``<ANS, answer, set, value(ANS)>``" — which is what makes views-on-views
+and follow-on queries possible (a query answer *is* a GSDB).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.gsdb.object import Object
+from repro.gsdb.oid import OidGenerator
+from repro.gsdb.store import ObjectStore
+
+#: Label carried by answer objects.
+ANSWER_LABEL = "answer"
+
+_answer_oids = OidGenerator("ANS")
+
+
+def make_answer(
+    oids: Iterable[str],
+    *,
+    store: ObjectStore | None = None,
+    oid: str | None = None,
+    label: str = ANSWER_LABEL,
+) -> Object:
+    """Build an answer object over *oids*.
+
+    When *store* is given the answer is registered there so it can be
+    used as an entry point or combined with ``union``/``int``; reference
+    checking is bypassed because answers may cite objects living in
+    other stores (the paper's queries span databases).
+    """
+    answer = Object.set_object(oid or _answer_oids.fresh(), label, oids)
+    if store is not None:
+        previous = store.check_references
+        store.check_references = False
+        try:
+            store.add_object(answer)
+        finally:
+            store.check_references = previous
+    return answer

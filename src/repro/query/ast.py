@@ -1,0 +1,206 @@
+"""Abstract syntax of the paper's query language.
+
+The base form (paper expression 2.1)::
+
+    SELECT OBJ.sel_path_exp X
+    WHERE cond(X.cond_path_exp)
+    [WITHIN DB1]
+    [ANS INT DB2]
+
+The paper's examples write conditions concretely, e.g. ``X.age > 40``
+and ``X.name = 'John'``; we adopt that concrete syntax.  As the paper
+notes (end of Section 2), extra features are easy to add; we support
+conjunction/disjunction/negation of conditions and an ``EXISTS`` test —
+the *simple-view* maintainer rejects anything beyond a single
+comparison, while the extended maintainer accepts conjunctions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Union
+
+from repro.gsdb.object import AtomicValue
+from repro.paths.expression import PathExpression
+
+#: Comparison operators in condition atoms.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=", "contains", "matches")
+
+
+def _compare(op: str, left: AtomicValue, right: AtomicValue) -> bool:
+    """Apply one comparison, tolerating mixed types by returning False.
+
+    GSDB labels and values are schemaless (Section 2), so a condition
+    like ``age > 40`` may meet a string-valued ``age`` object; the
+    condition is simply false for it rather than an error.
+    """
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right  # type: ignore[operator]
+        if op == "<=":
+            return left <= right  # type: ignore[operator]
+        if op == ">":
+            return left > right  # type: ignore[operator]
+        if op == ">=":
+            return left >= right  # type: ignore[operator]
+        if op == "contains":
+            return isinstance(left, str) and str(right) in left
+        if op == "matches":
+            return isinstance(left, str) and re.search(str(right), left) is not None
+    except TypeError:
+        return False
+    raise ValueError(f"unknown comparison operator: {op!r}")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``X.<path> <op> <literal>`` — the paper's ``cond()`` atom.
+
+    ``cond()`` "accepts a set of atomic objects, and returns true if one
+    of those object values satisfies the condition" (Section 2) — i.e.
+    existential semantics over ``X.path``.
+    """
+
+    path: PathExpression
+    op: str
+    literal: AtomicValue
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator: {self.op!r}")
+
+    def test_value(self, value: AtomicValue) -> bool:
+        """Test the comparison against one atomic value."""
+        return _compare(self.op, value, self.literal)
+
+    def predicate(self) -> Callable[[AtomicValue], bool]:
+        """A plain value predicate (for ``eval(N, p, cond)``)."""
+        return self.test_value
+
+    def __str__(self) -> str:
+        literal = (
+            f"'{self.literal}'" if isinstance(self.literal, str) else self.literal
+        )
+        return f"X.{self.path} {self.op} {literal}"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``EXISTS X.<path>`` — true when ``X.path`` is non-empty."""
+
+    path: PathExpression
+
+    def __str__(self) -> str:
+        return f"EXISTS X.{self.path}"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of conditions (extended views, paper Section 6)."""
+
+    operands: tuple["Condition", ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(_parenthesize(c) for c in self.operands)
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of conditions (extension)."""
+
+    operands: tuple["Condition", ...]
+
+    def __str__(self) -> str:
+        return " OR ".join(_parenthesize(c) for c in self.operands)
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negated condition (extension)."""
+
+    operand: "Condition"
+
+    def __str__(self) -> str:
+        return f"NOT {_parenthesize(self.operand)}"
+
+
+Condition = Union[Comparison, Exists, And, Or, Not]
+
+
+def _parenthesize(condition: Condition) -> str:
+    if isinstance(condition, (And, Or)):
+        return f"({condition})"
+    return str(condition)
+
+
+def condition_paths(condition: Condition) -> list[PathExpression]:
+    """All condition paths mentioned (for screening and maintenance)."""
+    if isinstance(condition, (Comparison, Exists)):
+        return [condition.path]
+    if isinstance(condition, Not):
+        return condition_paths(condition.operand)
+    paths: list[PathExpression] = []
+    for operand in condition.operands:
+        paths.extend(condition_paths(operand))
+    return paths
+
+
+@dataclass(frozen=True)
+class Query:
+    """One parsed query.
+
+    Attributes:
+        entry: the entry-point name — an OID or a registered database
+            name ("the user must provide an entry point", Section 2).
+        select_path: the ``sel_path_exp`` after the entry.
+        variable: the bound variable name (defaults to ``X``; the paper
+            omits it on queries without a WHERE, e.g. ``SELECT VJ.?.age``).
+        condition: optional WHERE condition tree.
+        within: optional ``WITHIN`` database name — objects outside it
+            are invisible to the whole evaluation.
+        ans_int: optional ``ANS INT`` database name — the answer set is
+            intersected with that database's value.
+    """
+
+    entry: str
+    select_path: PathExpression
+    variable: str = "X"
+    condition: Condition | None = None
+    within: str | None = None
+    ans_int: str | None = None
+
+    def __str__(self) -> str:
+        parts = [f"SELECT {self.entry}"]
+        if len(self.select_path):
+            parts[0] += f".{self.select_path}"
+        parts[0] += f" {self.variable}"
+        if self.condition is not None:
+            parts.append(f"WHERE {self.condition}")
+        if self.within is not None:
+            parts.append(f"WITHIN {self.within}")
+        if self.ans_int is not None:
+            parts.append(f"ANS INT {self.ans_int}")
+        return " ".join(parts)
+
+    def with_scope(
+        self, *, within: str | None = None, ans_int: str | None = None
+    ) -> "Query":
+        """Return a copy with added/replaced scope clauses.
+
+        Section 3.1 envisions an authorization system that automatically
+        expands user queries with ``ANS INT``/``WITHIN`` clauses; this is
+        the hook it uses.
+        """
+        return Query(
+            entry=self.entry,
+            select_path=self.select_path,
+            variable=self.variable,
+            condition=self.condition,
+            within=within if within is not None else self.within,
+            ans_int=ans_int if ans_int is not None else self.ans_int,
+        )

@@ -1,0 +1,128 @@
+"""Query evaluation with ``WITHIN`` and ``ANS INT`` scoping.
+
+Evaluation follows paper Section 2:
+
+1. Resolve the entry point (an OID, or a registered database/view name).
+2. Compute the candidate set ``entry.sel_path_exp``.
+3. If a WHERE clause is present, keep candidates ``X`` for which
+   ``cond(X.cond_path_exp)`` holds.
+4. Apply ``ANS INT DB2`` by intersecting with ``value(DB2)``.
+5. Wrap the result in an answer object.
+
+``WITHIN DB1`` makes every OID outside ``DB1`` "completely ignored by
+the query": we evaluate against a :class:`ScopedStore` that pretends
+out-of-scope objects do not exist, so they are invisible both as
+intermediate path nodes and in conditions (the paper's example: with
+``WITHIN D1`` and ``A1`` stored elsewhere, ``X.age > 40`` fails).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import QueryEvaluationError
+from repro.gsdb.database import DatabaseRegistry
+from repro.gsdb.object import Object
+from repro.gsdb.store import ObjectStore
+from repro.paths.automaton import compile_expression
+from repro.query.answer import make_answer
+from repro.query.ast import Query
+from repro.query.conditions import evaluate_condition
+from repro.query.parser import parse_query
+
+
+class ScopedStore:
+    """A read-only view of a store restricted to a set of OIDs.
+
+    Implements the subset of the :class:`ObjectStore` read interface the
+    traversal and condition machinery uses (``get_optional``, ``get``,
+    ``counters``, ``__contains__``), returning None/absent for objects
+    outside the scope.  The entry point of the running query is always
+    admitted, since the user evidently holds its OID already.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        scope: frozenset[str],
+        *,
+        admit: Iterable[str] = (),
+    ) -> None:
+        self._store = store
+        self._scope = scope | frozenset(admit)
+        self.counters = store.counters
+
+    def get_optional(self, oid: str) -> Object | None:
+        if oid not in self._scope:
+            self.counters.object_reads += 1  # the probe still happened
+            return None
+        return self._store.get_optional(oid)
+
+    def get(self, oid: str) -> Object:
+        obj = self.get_optional(oid)
+        if obj is None:
+            from repro.errors import UnknownObjectError
+
+            raise UnknownObjectError(oid)
+        return obj
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._scope and oid in self._store
+
+
+class QueryEvaluator:
+    """Evaluates parsed queries against a store + database registry."""
+
+    def __init__(self, registry: DatabaseRegistry) -> None:
+        self.registry = registry
+        self.store = registry.store
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate(self, query: Query | str) -> Object:
+        """Evaluate and return the answer object (registered in store)."""
+        oids = self.evaluate_oids(query)
+        return make_answer(sorted(oids), store=self.store)
+
+    def evaluate_oids(self, query: Query | str) -> set[str]:
+        """Evaluate and return the raw answer OID set."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        store = self._scoped_store(query)
+        entry_oid = self._resolve_entry(query.entry)
+        candidates = compile_expression(query.select_path).evaluate(
+            store, entry_oid
+        )
+        if query.condition is not None:
+            candidates = {
+                oid
+                for oid in candidates
+                if evaluate_condition(store, oid, query.condition)
+            }
+        if query.ans_int is not None:
+            candidates &= self.registry.members(query.ans_int)
+        return candidates
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _resolve_entry(self, entry: str) -> str:
+        """An entry is a database/view name or a bare OID."""
+        if entry in self.registry.names():
+            return self.registry.resolve(entry).oid
+        if entry in self.store:
+            return entry
+        raise QueryEvaluationError(
+            f"entry point {entry!r} is neither a database nor an OID"
+        )
+
+    def _scoped_store(self, query: Query) -> ObjectStore | ScopedStore:
+        if query.within is None:
+            return self.store
+        scope = frozenset(self.registry.members(query.within))
+        entry_oid = self._resolve_entry(query.entry)
+        # The scope database object itself is admitted so that a query
+        # can use the scoped database as its own entry point.
+        scope_object = self.registry.resolve(query.within).oid
+        return ScopedStore(
+            self.store, scope, admit=(entry_oid, scope_object)
+        )

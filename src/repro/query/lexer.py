@@ -1,0 +1,163 @@
+"""Tokenizer for the query and view-definition languages.
+
+Handles the surface syntax of paper expressions 2.1 and 3.5::
+
+    SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON
+    define mview MVJ as: SELECT ROOT.* X WHERE X.name = 'John'
+
+Token kinds: keywords (case-insensitive), identifiers, wildcards ``*``
+and ``?``, punctuation (``.``, ``|``, ``(``, ``)``, ``:``), comparison
+operators, string literals in single quotes, and numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "WHERE",
+        "WITHIN",
+        "ANS",
+        "INT",
+        "AND",
+        "OR",
+        "NOT",
+        "EXISTS",
+        "CONTAINS",
+        "MATCHES",
+        "DEFINE",
+        "VIEW",
+        "MVIEW",
+        "AS",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+_PUNCTUATION = {
+    ".": "DOT",
+    "|": "PIPE",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ":": "COLON",
+    ",": "COMMA",
+    "*": "STAR",
+    "?": "QMARK",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # KEYWORD, IDENT, OP, STRING, NUMBER, or a punctuation name
+    text: str
+    value: object
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; raises :class:`QuerySyntaxError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "'":
+            token, i = _string(text, i)
+            yield token
+            continue
+        if char.isdigit() or (
+            char == "-" and i + 1 < length and text[i + 1].isdigit()
+        ):
+            token, i = _number(text, i)
+            yield token
+            continue
+        if char.isalpha() or char == "_":
+            token, i = _word(text, i)
+            yield token
+            continue
+        matched_op = next(
+            (op for op in _OPERATORS if text.startswith(op, i)), None
+        )
+        if matched_op is not None:
+            yield Token("OP", matched_op, matched_op, i)
+            i += len(matched_op)
+            continue
+        if char in _PUNCTUATION:
+            yield Token(_PUNCTUATION[char], char, char, i)
+            i += 1
+            continue
+        raise QuerySyntaxError(text, i, f"unexpected character {char!r}")
+
+
+def _string(text: str, start: int) -> tuple[Token, int]:
+    i = start + 1
+    chars: list[str] = []
+    while i < len(text):
+        char = text[i]
+        if char == "\\" and i + 1 < len(text):
+            chars.append(text[i + 1])
+            i += 2
+            continue
+        if char == "'":
+            return (
+                Token("STRING", text[start : i + 1], "".join(chars), start),
+                i + 1,
+            )
+        chars.append(char)
+        i += 1
+    raise QuerySyntaxError(text, start, "unterminated string literal")
+
+
+def _number(text: str, start: int) -> tuple[Token, int]:
+    i = start + 1 if text[start] == "-" else start
+    while i < len(text) and text[i].isdigit():
+        i += 1
+    is_float = False
+    if i < len(text) and text[i] == "." and i + 1 < len(text) and text[i + 1].isdigit():
+        is_float = True
+        i += 1
+        while i < len(text) and text[i].isdigit():
+            i += 1
+    if i < len(text) and text[i] in "eE":
+        mark = i + 1
+        if mark < len(text) and text[mark] in "+-":
+            mark += 1
+        if mark < len(text) and text[mark].isdigit():
+            is_float = True
+            i = mark
+            while i < len(text) and text[i].isdigit():
+                i += 1
+    raw = text[start:i]
+    value: object = float(raw) if is_float else int(raw)
+    return Token("NUMBER", raw, value, start), i
+
+
+def _word(text: str, start: int) -> tuple[Token, int]:
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] in "_$"):
+        i += 1
+    word = text[start:i]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        if upper == "TRUE":
+            return Token("BOOL", word, True, start), i
+        if upper == "FALSE":
+            return Token("BOOL", word, False, start), i
+        return Token("KEYWORD", upper, upper, start), i
+    return Token("IDENT", word, word, start), i

@@ -1,0 +1,278 @@
+"""Recursive-descent parser for queries and view definitions.
+
+Grammar (keywords case-insensitive)::
+
+    statement   := query | view_def
+    view_def    := DEFINE (VIEW | MVIEW) IDENT AS ':'? query
+    query       := SELECT entry_path [IDENT]
+                   [WHERE condition]
+                   [WITHIN IDENT]
+                   [ANS INT IDENT]
+    entry_path  := IDENT ('.' segment)*
+    segment     := '*' | '?' | IDENT ('|' IDENT)*
+    condition   := or_cond
+    or_cond     := and_cond (OR and_cond)*
+    and_cond    := unary_cond (AND unary_cond)*
+    unary_cond  := NOT unary_cond | '(' condition ')' | atom
+    atom        := EXISTS var_path
+                 | var_path (op | CONTAINS | MATCHES) literal
+    var_path    := IDENT ('.' segment)*        -- IDENT must be the query
+                                                  variable
+    literal     := STRING | NUMBER | BOOL
+
+The paper allows queries without a variable when there is no WHERE
+clause (``SELECT VJ.?.age``); we default the variable name to ``X``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+from repro.paths.expression import (
+    AnyLabelSegment,
+    AnyPathSegment,
+    LabelSegment,
+    PathExpression,
+    Segment,
+)
+from repro.query.ast import And, Comparison, Condition, Exists, Not, Or, Query
+from repro.query.lexer import Token, tokenize
+
+
+@dataclass(frozen=True)
+class ViewDefinitionStatement:
+    """A parsed ``define view``/``define mview`` statement."""
+
+    name: str
+    materialized: bool
+    query: Query
+
+
+def parse_query(text: str) -> Query:
+    """Parse a ``SELECT`` query string."""
+    parser = _Parser(text)
+    query = parser.parse_query()
+    parser.expect_end()
+    return query
+
+
+def parse_statement(text: str) -> Query | ViewDefinitionStatement:
+    """Parse either a query or a view definition."""
+    parser = _Parser(text)
+    if parser.peek_keyword("DEFINE"):
+        statement = parser.parse_view_definition()
+    else:
+        statement = parser.parse_query()
+    parser.expect_end()
+    return statement
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError(
+                self.text, len(self.text), "unexpected end of input"
+            )
+        self.index += 1
+        return token
+
+    def peek_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "KEYWORD"
+            and token.value == keyword
+        )
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self.peek_keyword(keyword):
+            self.index += 1
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if token is None or token.kind != "KEYWORD" or token.value != keyword:
+            position = token.position if token else len(self.text)
+            raise QuerySyntaxError(
+                self.text, position, f"expected keyword {keyword}"
+            )
+        return self._advance()
+
+    def _expect(self, kind: str, what: str) -> Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            position = token.position if token else len(self.text)
+            raise QuerySyntaxError(self.text, position, f"expected {what}")
+        return self._advance()
+
+    def expect_end(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise QuerySyntaxError(
+                self.text, token.position, f"unexpected trailing {token.text!r}"
+            )
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_view_definition(self) -> ViewDefinitionStatement:
+        self._expect_keyword("DEFINE")
+        token = self._advance()
+        if token.kind != "KEYWORD" or token.value not in ("VIEW", "MVIEW"):
+            raise QuerySyntaxError(
+                self.text, token.position, "expected VIEW or MVIEW"
+            )
+        materialized = token.value == "MVIEW"
+        name = self._expect("IDENT", "view name").text
+        self._expect_keyword("AS")
+        colon = self._peek()
+        if colon is not None and colon.kind == "COLON":
+            self._advance()
+        query = self.parse_query()
+        return ViewDefinitionStatement(
+            name=name, materialized=materialized, query=query
+        )
+
+    def parse_query(self) -> Query:
+        self._expect_keyword("SELECT")
+        entry, select_path = self._parse_entry_path()
+        variable = "X"
+        token = self._peek()
+        if token is not None and token.kind == "IDENT":
+            variable = self._advance().text
+        condition = None
+        if self._accept_keyword("WHERE"):
+            condition = self._parse_condition(variable)
+        within = None
+        if self._accept_keyword("WITHIN"):
+            within = self._expect("IDENT", "database name after WITHIN").text
+        ans_int = None
+        if self._accept_keyword("ANS"):
+            self._expect_keyword("INT")
+            ans_int = self._expect("IDENT", "database name after ANS INT").text
+        return Query(
+            entry=entry,
+            select_path=select_path,
+            variable=variable,
+            condition=condition,
+            within=within,
+            ans_int=ans_int,
+        )
+
+    def _parse_entry_path(self) -> tuple[str, PathExpression]:
+        entry = self._expect("IDENT", "entry point (OID or database)").text
+        segments = self._parse_dotted_segments()
+        return entry, PathExpression(segments)
+
+    def _parse_dotted_segments(self) -> list[Segment]:
+        segments: list[Segment] = []
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "DOT":
+                return segments
+            self._advance()
+            segments.append(self._parse_segment())
+
+    def _parse_segment(self) -> Segment:
+        token = self._advance()
+        if token.kind == "STAR":
+            return AnyPathSegment()
+        if token.kind == "QMARK":
+            return AnyLabelSegment()
+        if token.kind == "IDENT":
+            labels = [token.text]
+            while True:
+                peeked = self._peek()
+                if peeked is None or peeked.kind != "PIPE":
+                    break
+                self._advance()
+                labels.append(self._expect("IDENT", "label after '|'").text)
+            return LabelSegment(frozenset(labels))
+        raise QuerySyntaxError(
+            self.text, token.position, "expected path segment"
+        )
+
+    # -- conditions ---------------------------------------------------------
+
+    def _parse_condition(self, variable: str) -> Condition:
+        return self._parse_or(variable)
+
+    def _parse_or(self, variable: str) -> Condition:
+        operands = [self._parse_and(variable)]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_and(variable))
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def _parse_and(self, variable: str) -> Condition:
+        operands = [self._parse_unary(variable)]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_unary(variable))
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def _parse_unary(self, variable: str) -> Condition:
+        if self._accept_keyword("NOT"):
+            return Not(self._parse_unary(variable))
+        token = self._peek()
+        if token is not None and token.kind == "LPAREN":
+            self._advance()
+            condition = self._parse_condition(variable)
+            self._expect("RPAREN", "closing parenthesis")
+            return condition
+        if self._accept_keyword("EXISTS"):
+            path = self._parse_variable_path(variable)
+            return Exists(path)
+        return self._parse_comparison(variable)
+
+    def _parse_variable_path(self, variable: str) -> PathExpression:
+        token = self._expect("IDENT", f"variable {variable!r}")
+        if token.text != variable:
+            raise QuerySyntaxError(
+                self.text,
+                token.position,
+                f"condition must use variable {variable!r}, got {token.text!r}",
+            )
+        segments = self._parse_dotted_segments()
+        return PathExpression(segments)
+
+    def _parse_comparison(self, variable: str) -> Comparison:
+        path = self._parse_variable_path(variable)
+        token = self._advance()
+        if token.kind == "OP":
+            op = str(token.value)
+        elif token.kind == "KEYWORD" and token.value in (
+            "CONTAINS",
+            "MATCHES",
+        ):
+            op = token.value.lower()
+        else:
+            raise QuerySyntaxError(
+                self.text, token.position, "expected comparison operator"
+            )
+        literal = self._parse_literal()
+        return Comparison(path=path, op=op, literal=literal)
+
+    def _parse_literal(self):
+        token = self._advance()
+        if token.kind in ("STRING", "NUMBER", "BOOL"):
+            return token.value
+        raise QuerySyntaxError(
+            self.text, token.position, "expected literal value"
+        )

@@ -1,0 +1,51 @@
+"""Relational substrate — the Section 4.4 / Example 8 baseline.
+
+Flattens a GSDB into ``OBJ``/``CHILD``/``ATOM`` tables, compiles simple
+views into self-join SPJ queries, and maintains them with a counting
+incremental algorithm, so the native Algorithm 1 can be compared
+against "directly using the relational algorithms on graph data".
+"""
+
+from repro.relational.counting import CountingView, DeltaOutcome
+from repro.relational.engine import (
+    Atom,
+    ConjunctiveQuery,
+    Filter,
+    Var,
+    evaluate,
+    evaluate_delta,
+)
+from repro.relational.flatten import (
+    ATOM,
+    CHILD,
+    OBJ,
+    Flattener,
+    TableDelta,
+    create_schema,
+)
+from repro.relational.maintenance import MirrorStats, RelationalMirror
+from repro.relational.table import Database, Table
+from repro.relational.views import compile_simple_view, join_count
+
+__all__ = [
+    "ATOM",
+    "Atom",
+    "CHILD",
+    "ConjunctiveQuery",
+    "CountingView",
+    "Database",
+    "DeltaOutcome",
+    "Filter",
+    "Flattener",
+    "MirrorStats",
+    "OBJ",
+    "RelationalMirror",
+    "Table",
+    "TableDelta",
+    "Var",
+    "compile_simple_view",
+    "create_schema",
+    "evaluate",
+    "evaluate_delta",
+    "join_count",
+]

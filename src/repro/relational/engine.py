@@ -1,0 +1,221 @@
+"""A small conjunctive-query (select-project-join) engine.
+
+Path views flattened to relations become SPJ queries with long self-join
+chains over the ``CHILD`` table (paper Section 4.4: "a view defined
+using paths ... needs to be defined by a Select-Project-Join expression
+with (many) self-joins").  This module evaluates such queries with bag
+semantics and — crucially for counting IVM — evaluates *delta* queries
+where one atom is pinned to a changed row.
+
+A query is a conjunction of :class:`Atom` s over variables/constants,
+a list of value filters, and a head (projection) variable list::
+
+    V(x1) :- CHILD('ROOT', x1), OBJ(x1, 'professor'),
+             CHILD(x1, y1), OBJ(y1, 'age'),
+             ATOM(y1, t, v), v <= 45
+
+Evaluation is an index-backed nested-loop join: atoms are processed in
+order; each atom either probes a column index (when some argument is
+already bound or constant) or scans.  Multiplicities multiply along a
+join path and accumulate per head tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import RelationalError
+from repro.relational.table import Database, Row, Table
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A query variable (anything that is not a Var is a constant)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = object  # Var or a constant value
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One positive literal: ``table(terms...)``."""
+
+    table: str
+    terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            repr(t) if not isinstance(t, Var) else f"?{t.name}"
+            for t in self.terms
+        )
+        return f"{self.table}({inner})"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A selection predicate on one variable's bound value."""
+
+    var: Var
+    predicate: Callable[[object], bool]
+    description: str = "<predicate>"
+
+    def __str__(self) -> str:
+        return f"?{self.var.name} satisfies {self.description}"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``head :- atoms, filters`` with bag semantics."""
+
+    head: tuple[Var, ...]
+    atoms: tuple[Atom, ...]
+    filters: tuple[Filter, ...] = ()
+
+    def __str__(self) -> str:
+        head = ", ".join(f"?{v.name}" for v in self.head)
+        body = ", ".join(str(a) for a in self.atoms)
+        if self.filters:
+            body += ", " + ", ".join(str(f) for f in self.filters)
+        return f"({head}) :- {body}"
+
+    def atoms_over(self, table: str) -> list[int]:
+        """Positions of atoms referencing *table* (for delta rules)."""
+        return [i for i, atom in enumerate(self.atoms) if atom.table == table]
+
+
+Bindings = dict[str, object]
+
+
+def _match_row(
+    atom: Atom, row: Row, bindings: Bindings
+) -> Bindings | None:
+    """Try to unify *row* with *atom* under *bindings*; None on clash."""
+    new = dict(bindings)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Var):
+            bound = new.get(term.name, _UNSET)
+            if bound is _UNSET:
+                new[term.name] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return new
+
+
+class _Unset:
+    __slots__ = ()
+
+
+_UNSET = _Unset()
+
+
+def _candidate_rows(
+    table: Table, atom: Atom, bindings: Bindings
+) -> Iterator[tuple[Row, int]]:
+    """Rows of *table* possibly matching *atom*: prefer an index probe on
+    the first bound/constant argument, else scan."""
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Var):
+            value = bindings.get(term.name, _UNSET)
+            if value is not _UNSET:
+                yield from table.rows_with(position, value)
+                return
+        else:
+            yield from table.rows_with(position, term)
+            return
+    yield from table.rows()
+
+
+def _passes_filters(
+    query: ConjunctiveQuery, bindings: Bindings, *, final: bool
+) -> bool:
+    """Apply every filter whose variable is bound (all must be, at the
+    end)."""
+    for f in query.filters:
+        value = bindings.get(f.var.name, _UNSET)
+        if value is _UNSET:
+            if final:
+                raise RelationalError(
+                    f"filter variable ?{f.var.name} never bound in {query}"
+                )
+            continue
+        if not f.predicate(value):
+            return False
+    return True
+
+
+def evaluate(
+    query: ConjunctiveQuery, db: Database
+) -> dict[tuple, int]:
+    """Evaluate with bag semantics: head tuple → multiplicity."""
+    return _evaluate_from(query, db, 0, {}, 1, skip_atom=None)
+
+
+def evaluate_delta(
+    query: ConjunctiveQuery,
+    db: Database,
+    atom_index: int,
+    row: Row,
+    count: int,
+) -> dict[tuple, int]:
+    """The counting-IVM delta rule: pin atom *atom_index* to *row* (with
+    multiplicity *count*) and join the remaining atoms against the
+    current database state.
+
+    The classic rule ΔV = R1 ⋈ ... ⋈ ΔRi ⋈ ... ⋈ Rn, evaluated with
+    the delta first for index-driven efficiency.
+    """
+    atom = query.atoms[atom_index]
+    bindings = _match_row(atom, row, {})
+    if bindings is None:
+        return {}
+    if not _passes_filters(query, bindings, final=False):
+        return {}
+    return _evaluate_from(
+        query, db, 0, bindings, count, skip_atom=atom_index
+    )
+
+
+def _evaluate_from(
+    query: ConjunctiveQuery,
+    db: Database,
+    atom_index: int,
+    bindings: Bindings,
+    multiplicity: int,
+    *,
+    skip_atom: int | None,
+) -> dict[tuple, int]:
+    while atom_index == skip_atom:
+        atom_index += 1
+    if atom_index >= len(query.atoms):
+        if not _passes_filters(query, bindings, final=True):
+            return {}
+        head = tuple(bindings[v.name] for v in query.head)
+        return {head: multiplicity}
+    atom = query.atoms[atom_index]
+    table = db.table(atom.table)
+    results: dict[tuple, int] = {}
+    for row, count in _candidate_rows(table, atom, bindings):
+        new_bindings = _match_row(atom, row, bindings)
+        if new_bindings is None:
+            continue
+        if not _passes_filters(query, new_bindings, final=False):
+            continue
+        partial = _evaluate_from(
+            query,
+            db,
+            atom_index + 1,
+            new_bindings,
+            multiplicity * count,
+            skip_atom=skip_atom,
+        )
+        for head, c in partial.items():
+            results[head] = results.get(head, 0) + c
+    return results

@@ -1,0 +1,183 @@
+"""Multiset (bag) tables with per-column hash indexes.
+
+The relational substrate exists to reproduce the paper's Section 4.4
+comparison: represent the GSDB in three flat tables (Example 8) and
+maintain path views with a relational counting algorithm [GMS93].
+Counting IVM requires bag semantics, so rows carry multiplicities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+Row = tuple
+
+
+class Table:
+    """A named bag of fixed-arity rows with hash indexes on columns.
+
+    Args:
+        name: table name.
+        columns: column names (arity is enforced on every mutation).
+        counters: optional shared cost counters; rows read through the
+            index charge ``index_probes``, full scans charge
+            ``object_scans`` (one per row visited) so experiments can
+            compare relational and native costs in the same units.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[str],
+        *,
+        counters: "CostCounters | None" = None,
+    ) -> None:
+        from repro.instrumentation.counters import CostCounters
+
+        self.name = name
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        self.counters = counters if counters is not None else CostCounters()
+        self._rows: dict[Row, int] = {}
+        self._indexes: dict[int, dict[object, set[Row]]] = {}
+
+    # -- schema helpers ------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def column_position(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def _check(self, row: Row) -> Row:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"table {self.name!r} expects {self.arity} columns, "
+                f"row has {len(row)}"
+            )
+        return row
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, row: Row, count: int = 1) -> None:
+        """Add *count* copies of *row* (count may be negative to remove)."""
+        row = self._check(row)
+        if count == 0:
+            return
+        new = self._rows.get(row, 0) + count
+        if new < 0:
+            raise SchemaError(
+                f"table {self.name!r}: multiplicity of {row!r} would become "
+                f"{new}"
+            )
+        if new == 0:
+            del self._rows[row]
+            self._unindex(row)
+        else:
+            if row not in self._rows:
+                self._index(row)
+            self._rows[row] = new
+        self.counters.object_writes += 1
+
+    def delete(self, row: Row, count: int = 1) -> None:
+        """Remove *count* copies of *row*."""
+        self.insert(row, -count)
+
+    # -- indexing -----------------------------------------------------------------
+
+    def ensure_index(self, position: int) -> None:
+        """Build (idempotently) a hash index on column *position*."""
+        if position in self._indexes:
+            return
+        index: dict[object, set[Row]] = {}
+        for row in self._rows:
+            index.setdefault(row[position], set()).add(row)
+        self._indexes[position] = index
+
+    def _index(self, row: Row) -> None:
+        for position, index in self._indexes.items():
+            index.setdefault(row[position], set()).add(row)
+
+    def _unindex(self, row: Row) -> None:
+        for position, index in self._indexes.items():
+            bucket = index.get(row[position])
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[row[position]]
+
+    # -- access --------------------------------------------------------------------
+
+    def count(self, row: Row) -> int:
+        """Multiplicity of *row* (0 when absent)."""
+        return self._rows.get(tuple(row), 0)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __len__(self) -> int:
+        """Number of distinct rows."""
+        return len(self._rows)
+
+    def total_count(self) -> int:
+        """Total multiplicity across all rows."""
+        return sum(self._rows.values())
+
+    def rows(self) -> Iterator[tuple[Row, int]]:
+        """Iterate (row, count) pairs in sorted order, charging a scan."""
+        for row in sorted(self._rows, key=repr):
+            self.counters.object_scans += 1
+            yield row, self._rows[row]
+
+    def rows_with(self, position: int, value: object) -> list[tuple[Row, int]]:
+        """Rows whose column *position* equals *value*, via the index."""
+        self.ensure_index(position)
+        self.counters.index_probes += 1
+        bucket = self._indexes[position].get(value, ())
+        return [(row, self._rows[row]) for row in sorted(bucket, key=repr)]
+
+    def snapshot(self) -> dict[Row, int]:
+        """A copy of the bag (for tests)."""
+        return dict(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, columns={self.columns}, rows={len(self)})"
+
+
+class Database:
+    """A named collection of tables sharing one counters instance."""
+
+    def __init__(self, counters: "CostCounters | None" = None) -> None:
+        from repro.instrumentation.counters import CostCounters
+
+        self.counters = counters if counters is not None else CostCounters()
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Iterable[str]) -> Table:
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, columns, counters=self.counters)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)

@@ -1,0 +1,92 @@
+"""Compiling simple GSDB views into relational SPJ queries.
+
+The simple view
+
+    define mview MV as: SELECT ROOT.l1.l2...lk X WHERE cond(X.c1...cm)
+
+flattens (paper Section 4.4) into the conjunctive query::
+
+    V(x_k) :- CHILD(ROOT, x_1), OBJ(x_1, l1),
+              CHILD(x_1, x_2),  OBJ(x_2, l2),
+              ...,
+              CHILD(x_{k-1}, x_k), OBJ(x_k, lk),
+              CHILD(x_k, y_1), OBJ(y_1, c1),
+              ...,
+              CHILD(y_{m-1}, y_m), OBJ(y_m, cm),
+              ATOM(y_m, t, v),  v θ literal
+
+— ``2(k+m)+1`` atoms, i.e. ``k+m`` self-joins of CHILD with OBJ lookups,
+plus the ATOM selection.  The "path semantics are hidden in the
+relations", which is exactly the point the paper makes about why this
+representation is awkward; experiment E4 quantifies it.
+
+Views without a WHERE clause stop at ``OBJ(x_k, lk)``.  Note the head
+projects the *selected object's OID* with bag semantics; the GSDB view
+is the support (distinct OIDs).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ViewDefinitionError
+from repro.query.ast import Comparison
+from repro.relational.engine import Atom, ConjunctiveQuery, Filter, Var
+from repro.relational.flatten import ATOM, CHILD, OBJ
+from repro.views.definition import ViewDefinition
+
+
+def compile_simple_view(definition: ViewDefinition) -> ConjunctiveQuery:
+    """Compile a simple view definition into a conjunctive query.
+
+    Raises:
+        ViewDefinitionError: for non-simple definitions (the relational
+            baseline exists to mirror exactly the Algorithm 1 class).
+    """
+    definition.require_simple()
+    root = definition.entry
+    sel_labels = list(definition.sel_path().labels)
+    cond_labels = list(definition.cond_path().labels)
+    if not sel_labels:
+        raise ViewDefinitionError(
+            f"view {definition.name!r}: relational compilation requires a "
+            "non-empty select path (the head variable must be bound by a "
+            "CHILD atom)"
+        )
+
+    atoms: list[Atom] = []
+    previous: object = root  # constant ROOT, then variables
+    select_vars = [Var(f"x{i + 1}") for i in range(len(sel_labels))]
+    for var, label in zip(select_vars, sel_labels):
+        atoms.append(Atom(CHILD, (previous, var)))
+        atoms.append(Atom(OBJ, (var, label)))
+        previous = var
+    head_var = select_vars[-1]
+
+    filters: list[Filter] = []
+    condition = definition.condition
+    if condition is not None:
+        assert isinstance(condition, Comparison)  # require_simple ensures
+        cond_vars = [Var(f"y{j + 1}") for j in range(len(cond_labels))]
+        for var, label in zip(cond_vars, cond_labels):
+            atoms.append(Atom(CHILD, (previous, var)))
+            atoms.append(Atom(OBJ, (var, label)))
+            previous = var
+        value_var = Var("v")
+        type_var = Var("t")
+        atoms.append(Atom(ATOM, (previous, type_var, value_var)))
+        filters.append(
+            Filter(
+                var=value_var,
+                predicate=condition.predicate(),
+                description=f"{condition.op} {condition.literal!r}",
+            )
+        )
+
+    return ConjunctiveQuery(
+        head=(head_var,), atoms=tuple(atoms), filters=tuple(filters)
+    )
+
+
+def join_count(definition: ViewDefinition) -> int:
+    """Number of joins in the compiled SPJ (reported by experiment E4)."""
+    query = compile_simple_view(definition)
+    return len(query.atoms) - 1

@@ -1,0 +1,318 @@
+"""The view catalog: the library's high-level façade.
+
+A :class:`ViewCatalog` ties together a store, a database registry, a
+parent index, a query evaluator, and any number of virtual and
+materialized views with their maintainers.  It is the API the examples
+use::
+
+    catalog = ViewCatalog()
+    ...populate catalog.store...
+    catalog.create_database("PERSON", member_oids)
+    catalog.define("define mview YP as: SELECT ROOT.professor X "
+                   "WHERE X.age <= 45")
+    catalog.store.insert_edge("P2", "A2")      # maintained automatically
+    catalog.query("SELECT YP.?.name X")
+
+Maintainer selection (``maintainer='auto'``): simple definitions get
+Algorithm 1 (:class:`SimpleViewMaintainer`); extended ones the
+affected-region maintainer; everything else falls back to recompute-on-
+update.  Pass ``'dag'`` for DAG bases (simple definitions only) or
+``'recompute'`` to force the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+from repro.errors import ViewDefinitionError, ViewError
+from repro.gsdb.database import DatabaseRegistry
+from repro.gsdb.indexes import LabelIndex, ParentIndex
+from repro.gsdb.object import Object
+from repro.gsdb.store import ObjectStore
+from repro.gsdb.updates import Update
+from repro.query.ast import Query
+from repro.query.evaluator import QueryEvaluator
+from repro.query.parser import parse_query
+from repro.views.consistency import ConsistencyReport, check_consistency
+from repro.views.dag import DagCountingMaintainer
+from repro.views.definition import ViewDefinition
+from repro.views.extended import ExtendedViewMaintainer
+from repro.views.maintenance import SimpleViewMaintainer
+from repro.views.materialized import MaterializedView, SwizzleMode
+from repro.views.recompute import populate_view, recompute_view
+from repro.views.virtual import VirtualView
+
+MaintainerKind = Literal["auto", "simple", "extended", "dag", "recompute"]
+
+
+class _RecomputeMaintainer:
+    """Fallback: recompute the whole view after every update."""
+
+    def __init__(self, view: MaterializedView, registry: DatabaseRegistry) -> None:
+        self.view = view
+        self.registry = registry
+        self.updates_processed = 0
+
+    def handle(self, update: Update) -> None:
+        self.updates_processed += 1
+        recompute_view(self.view, registry=self.registry)
+
+    def handle_all(self, updates) -> None:
+        for update in updates:
+            self.handle(update)
+
+
+class ViewCatalog:
+    """Store + registry + views + maintainers, wired together."""
+
+    def __init__(
+        self,
+        store: ObjectStore | None = None,
+        *,
+        with_parent_index: bool = True,
+        with_label_index: bool = False,
+    ) -> None:
+        self.store = store if store is not None else ObjectStore()
+        self.registry = DatabaseRegistry(self.store)
+        self.parent_index = (
+            ParentIndex(self.store) if with_parent_index else None
+        )
+        self.label_index = LabelIndex(self.store) if with_label_index else None
+        self.evaluator = QueryEvaluator(self.registry)
+        self.virtual_views: dict[str, VirtualView] = {}
+        self.materialized_views: dict[str, MaterializedView] = {}
+        self.maintainers: dict[str, object] = {}
+        self._definition_order: list[str] = []
+
+    # -- databases ----------------------------------------------------------
+
+    def create_database(self, name: str, members: Iterable[str] = ()) -> Object:
+        """Create a database object; its grouping edges are excluded from
+        the parent index automatically."""
+        obj = self.registry.create_database(name, members)
+        if self.parent_index is not None:
+            self.parent_index.ignore_parent(name)
+        return obj
+
+    # -- view definition ------------------------------------------------------
+
+    def define(
+        self,
+        definition: ViewDefinition | str,
+        *,
+        maintainer: MaintainerKind = "auto",
+        swizzle: SwizzleMode = SwizzleMode.NONE,
+        annotate_timestamps: bool = False,
+        view_store: ObjectStore | None = None,
+    ) -> VirtualView | MaterializedView:
+        """Define a view from a ``define [m]view ...`` statement.
+
+        Virtual views are registered and evaluated immediately.
+        Materialized views are populated, registered, and hooked to a
+        maintainer subscribed to the base store.
+        """
+        if isinstance(definition, str):
+            definition = ViewDefinition.parse(definition)
+        name = definition.name
+        if name in self.virtual_views or name in self.materialized_views:
+            raise ViewError(f"view {name!r} already defined")
+        if not definition.materialized:
+            view = VirtualView(definition, self.registry)
+            if self.parent_index is not None:
+                self.parent_index.ignore_parent(name)
+            self.virtual_views[name] = view
+            self._definition_order.append(name)
+            return view
+        mview = MaterializedView(
+            definition,
+            self.store,
+            view_store,
+            registry=self.registry if view_store is None else None,
+            swizzle=swizzle,
+            annotate_timestamps=annotate_timestamps,
+        )
+        if self.parent_index is not None and mview.view_store is self.store:
+            self.parent_index.ignore_view(name)
+        populate_view(mview, registry=self.registry)
+        self.materialized_views[name] = mview
+        self._definition_order.append(name)
+        self.maintainers[name] = self._make_maintainer(mview, maintainer)
+        return mview
+
+    def _make_maintainer(
+        self, view: MaterializedView, kind: MaintainerKind
+    ):
+        definition = view.definition
+        if kind == "auto":
+            if definition.is_simple:
+                kind = "simple"
+            elif definition.is_extended:
+                kind = "extended"
+            else:
+                kind = "recompute"
+        if kind == "simple":
+            return SimpleViewMaintainer(
+                view, parent_index=self.parent_index, subscribe=True
+            )
+        if kind == "extended":
+            return ExtendedViewMaintainer(
+                view, parent_index=self.parent_index, subscribe=True
+            )
+        if kind == "dag":
+            if self.parent_index is None:
+                raise ViewDefinitionError(
+                    "DAG maintenance requires a parent index"
+                )
+            return DagCountingMaintainer(
+                view, self.parent_index, subscribe=True
+            )
+        if kind == "recompute":
+            maintainer = _RecomputeMaintainer(view, self.registry)
+            self.store.subscribe(maintainer.handle)
+            return maintainer
+        raise ViewDefinitionError(f"unknown maintainer kind {kind!r}")
+
+    def define_partial(
+        self,
+        definition: ViewDefinition | str,
+        *,
+        depth: int = 2,
+        view_store: ObjectStore | None = None,
+    ):
+        """Define a partially materialized view (§6 open issue 3).
+
+        The view's membership is maintained by Algorithm 1; fragment
+        interiors are kept fresh by the view's own subscription.
+        """
+        from repro.views.partial import PartialMaterializedView
+
+        if isinstance(definition, str):
+            definition = ViewDefinition.parse(definition)
+        name = definition.name
+        if name in self.virtual_views or name in self.materialized_views:
+            raise ViewError(f"view {name!r} already defined")
+        view = PartialMaterializedView(
+            definition, self.store, view_store, depth=depth
+        )
+        if self.parent_index is not None and view.view_store is self.store:
+            self.parent_index.ignore_view(name)
+        maintainer = SimpleViewMaintainer(
+            view,  # type: ignore[arg-type]
+            parent_index=self.parent_index,
+            subscribe=True,
+        )
+        from repro.views.recompute import compute_view_members
+
+        view.load_members(
+            compute_view_members(definition, self.store, registry=self.registry)
+        )
+        self.store.subscribe(view.handle_fragment_update)
+        self.materialized_views[name] = view  # type: ignore[assignment]
+        self.maintainers[name] = maintainer
+        self._definition_order.append(name)
+        if view.view_store is self.store:
+            self.registry.register(name, name)
+        return view
+
+    def define_aggregate(
+        self,
+        name: str,
+        over: str,
+        kind,
+        *,
+        value_path: tuple[str, ...] | None = None,
+    ):
+        """Define an incrementally maintained aggregate (§6 open issue 2)
+        over an existing materialized view named *over*."""
+        from repro.views.aggregate import AggregateView
+
+        view = self.materialized_views.get(over)
+        if view is None:
+            raise ViewError(f"no materialized view named {over!r}")
+        return AggregateView(
+            name, view, kind, value_path=value_path, subscribe=True
+        )
+
+    def define_multipath(
+        self, name: str, definitions, *, view_store: ObjectStore | None = None
+    ):
+        """Define a union-of-select-paths view (paper Section 6)."""
+        from repro.views.multipath import MultiPathView
+
+        if name in self.virtual_views or name in self.materialized_views:
+            raise ViewError(f"view {name!r} already defined")
+        view = MultiPathView(
+            name,
+            definitions,
+            self.store,
+            view_store,
+            parent_index=self.parent_index,
+            subscribe=True,
+        )
+        self.materialized_views[name] = view.view
+        self.maintainers[name] = view
+        self._definition_order.append(name)
+        if view.view.view_store is self.store:
+            self.registry.register(name, name)
+        return view
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view, its maintainer subscription, and its objects."""
+        maintainer = self.maintainers.pop(name, None)
+        if maintainer is not None:
+            handler = getattr(maintainer, "handle", None)
+            if handler is not None:
+                try:
+                    self.store.unsubscribe(handler)
+                except ValueError:
+                    pass
+        mview = self.materialized_views.pop(name, None)
+        if mview is not None:
+            mview.clear()
+            if mview.oid in mview.view_store:
+                mview.view_store.remove_object(mview.oid)
+        vview = self.virtual_views.pop(name, None)
+        if vview is not None and vview.oid in self.store:
+            self.store.remove_object(vview.oid)
+        self.registry.unregister(name)
+        if name in self._definition_order:
+            self._definition_order.remove(name)
+
+    # -- querying ----------------------------------------------------------------
+
+    def query(self, text: str | Query) -> Object:
+        """Evaluate a query, refreshing any virtual views it references.
+
+        Virtual views are refreshed in definition order so views defined
+        over other views (paper expression 3.4) observe fresh values.
+        """
+        query = parse_query(text) if isinstance(text, str) else text
+        referenced = {query.entry, query.within, query.ans_int}
+        if referenced & set(self.virtual_views):
+            for name in self._definition_order:
+                if name in self.virtual_views:
+                    self.virtual_views[name].refresh()
+        return self.evaluator.evaluate(query)
+
+    def query_oids(self, text: str | Query) -> set[str]:
+        """Like :meth:`query` but returns the raw OID set."""
+        return set(self.query(text).children())
+
+    # -- maintenance helpers ---------------------------------------------------------
+
+    def check(self, name: str) -> ConsistencyReport:
+        """Audit a materialized view against recomputation."""
+        view = self.materialized_views.get(name)
+        if view is None:
+            raise ViewError(f"no materialized view named {name!r}")
+        return check_consistency(view, registry=self.registry)
+
+    def check_all(self) -> dict[str, ConsistencyReport]:
+        return {name: self.check(name) for name in self.materialized_views}
+
+    def recompute(self, name: str) -> tuple[int, int]:
+        """Force full recomputation of a materialized view."""
+        view = self.materialized_views.get(name)
+        if view is None:
+            raise ViewError(f"no materialized view named {name!r}")
+        return recompute_view(view, registry=self.registry)

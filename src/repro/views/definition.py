@@ -1,0 +1,178 @@
+"""View definitions and their classification.
+
+A view is defined by a query (paper Section 3.1).  The *simple views*
+of Section 4.2 — the class Algorithm 1 maintains — are the restriction
+
+    define mview MV as: SELECT ROOT.sel_path X WHERE cond(X.cond_path)
+
+where ``sel_path`` and ``cond_path`` are constant paths (no wildcards)
+and the base below ROOT is a tree.  :class:`ViewDefinition` normalizes a
+parsed query into the pieces the maintainers consume and classifies it:
+
+* ``is_simple`` — constant paths, at most one comparison condition, no
+  scope clauses: handled by
+  :class:`~repro.views.maintenance.SimpleViewMaintainer`.
+* ``is_extended`` — conjunctions of comparisons and/or wildcard paths:
+  handled by :class:`~repro.views.extended.ExtendedViewMaintainer`.
+* anything else is maintainable only by recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ViewDefinitionError
+from repro.gsdb.object import AtomicValue
+from repro.paths.expression import PathExpression
+from repro.paths.path import EMPTY_PATH, Path
+from repro.query.ast import And, Comparison, Condition, Query
+from repro.query.parser import ViewDefinitionStatement, parse_statement
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """A normalized view definition.
+
+    Attributes:
+        name: the view's name — also used as the view object's OID, so
+            delegate OIDs read like the paper's (``MVJ.P1``).
+        query: the defining query.
+        materialized: ``define mview`` vs ``define view``.
+    """
+
+    name: str
+    query: Query
+    materialized: bool = True
+
+    @classmethod
+    def parse(cls, text: str) -> "ViewDefinition":
+        """Parse a ``define [m]view NAME as: SELECT ...`` statement."""
+        statement = parse_statement(text)
+        if not isinstance(statement, ViewDefinitionStatement):
+            raise ViewDefinitionError(
+                f"expected a view definition, got a bare query: {text!r}"
+            )
+        return cls(
+            name=statement.name,
+            query=statement.query,
+            materialized=statement.materialized,
+        )
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def entry(self) -> str:
+        """The ROOT entry point of the defining query."""
+        return self.query.entry
+
+    @property
+    def select_expression(self) -> PathExpression:
+        return self.query.select_path
+
+    @property
+    def condition(self) -> Condition | None:
+        return self.query.condition
+
+    @property
+    def is_simple(self) -> bool:
+        """True for the Section 4.2 class maintained by Algorithm 1."""
+        query = self.query
+        if query.within is not None or query.ans_int is not None:
+            return False
+        if not query.select_path.is_constant:
+            return False
+        if query.condition is None:
+            return True
+        return (
+            isinstance(query.condition, Comparison)
+            and query.condition.path.is_constant
+        )
+
+    @property
+    def is_extended(self) -> bool:
+        """True for the Section 6 relaxations our extended maintainer
+        accepts: wildcard paths and/or conjunctions of comparisons (no
+        scope clauses, no OR/NOT/EXISTS)."""
+        query = self.query
+        if query.within is not None or query.ans_int is not None:
+            return False
+        condition = query.condition
+        if condition is None or isinstance(condition, Comparison):
+            return True
+        return isinstance(condition, And) and all(
+            isinstance(operand, Comparison) for operand in condition.operands
+        )
+
+    # -- simple-view accessors (Algorithm 1 inputs) --------------------------
+
+    def sel_path(self) -> Path:
+        """The constant ``sel_path`` (simple views only)."""
+        if not self.query.select_path.is_constant:
+            raise ViewDefinitionError(
+                f"view {self.name!r} has a non-constant select path"
+            )
+        return self.query.select_path.as_path()
+
+    def cond_path(self) -> Path:
+        """The constant ``cond_path`` — empty when there is no WHERE."""
+        condition = self.query.condition
+        if condition is None:
+            return EMPTY_PATH
+        if not isinstance(condition, Comparison):
+            raise ViewDefinitionError(
+                f"view {self.name!r} has a compound condition"
+            )
+        if not condition.path.is_constant:
+            raise ViewDefinitionError(
+                f"view {self.name!r} has a non-constant condition path"
+            )
+        return condition.path.as_path()
+
+    def predicate(self) -> Callable[[AtomicValue], bool]:
+        """The value predicate ``cond()`` (constant-true when no WHERE).
+
+        Note: with no WHERE clause the "condition" accepts *objects of
+        any kind*, handled specially by the maintainers (members are the
+        reached objects themselves, not atomic witnesses).
+        """
+        condition = self.query.condition
+        if condition is None:
+            return lambda _value: True
+        if not isinstance(condition, Comparison):
+            raise ViewDefinitionError(
+                f"view {self.name!r} has a compound condition"
+            )
+        return condition.predicate()
+
+    @property
+    def has_condition(self) -> bool:
+        return self.query.condition is not None
+
+    def full_path(self) -> Path:
+        """``sel_path.cond_path`` — the concatenation Algorithm 1 matches
+        against ``path(ROOT, N1).label(N2).p``."""
+        return self.sel_path() + self.cond_path()
+
+    def full_expression(self) -> PathExpression:
+        """``sel_path_exp . cond_path_exp`` for extended views."""
+        condition = self.query.condition
+        parts = [self.query.select_path]
+        if isinstance(condition, Comparison):
+            parts.append(condition.path)
+        result = parts[0]
+        for part in parts[1:]:
+            result = result.concat(part)
+        return result
+
+    def require_simple(self) -> None:
+        """Raise unless this definition is in the Algorithm 1 class."""
+        if not self.is_simple:
+            raise ViewDefinitionError(
+                f"view {self.name!r} is not a simple view "
+                f"(paper Section 4.2): {self.query}"
+            )
+
+    def __str__(self) -> str:
+        keyword = "mview" if self.materialized else "view"
+        return f"define {keyword} {self.name} as: {self.query}"

@@ -1,0 +1,60 @@
+"""Data warehouse architecture (paper Section 5, Figure 6).
+
+Sources export update notifications at three information levels;
+the warehouse maintains materialized views by running Algorithm 1 with
+its evaluation functions realized through notification payloads, cached
+auxiliary structure, and metered source queries.
+"""
+
+from repro.warehouse.bulk import BulkUpdate, bulk_is_relevant, execute_bulk
+from repro.warehouse.caching import AuxiliaryCache, CacheEntry, CachePolicy
+from repro.warehouse.monitor import Monitor
+from repro.warehouse.protocol import (
+    MessageLog,
+    ObjectPayload,
+    PathPayload,
+    QueryAnswer,
+    QueryKind,
+    ReportingLevel,
+    SourceQuery,
+    UpdateNotification,
+)
+from repro.warehouse.schema_knowledge import PathKnowledge
+from repro.warehouse.source import Source, SourceCapability
+from repro.warehouse.warehouse import (
+    RemoteBaseStore,
+    RemoteParentIndex,
+    RemoteViewMaintainer,
+    Warehouse,
+    WarehouseView,
+    WarehouseViewStats,
+)
+from repro.warehouse.wrapper import SourceLink
+
+__all__ = [
+    "AuxiliaryCache",
+    "BulkUpdate",
+    "bulk_is_relevant",
+    "execute_bulk",
+    "CacheEntry",
+    "CachePolicy",
+    "MessageLog",
+    "Monitor",
+    "ObjectPayload",
+    "PathKnowledge",
+    "PathPayload",
+    "QueryAnswer",
+    "QueryKind",
+    "RemoteBaseStore",
+    "RemoteParentIndex",
+    "RemoteViewMaintainer",
+    "ReportingLevel",
+    "Source",
+    "SourceCapability",
+    "SourceLink",
+    "SourceQuery",
+    "UpdateNotification",
+    "Warehouse",
+    "WarehouseView",
+    "WarehouseViewStats",
+]

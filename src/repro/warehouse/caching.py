@@ -1,0 +1,305 @@
+"""Auxiliary caching at the warehouse (paper Section 5.2, Example 10).
+
+"The warehouse may be able to store auxiliary data structures to avoid,
+or at least reduce the need to query the source."  For a simple view
+over ``sel_path.cond_path``, the auxiliary structure is the *region*
+of objects reachable from ROOT along *prefixes* of that concatenated
+path (Example 10's picture: ROOT, the professors, and their age
+subobjects).
+
+Policies:
+
+* ``NONE`` — no cache; every evaluation function queries the source.
+* ``STRUCTURE`` — the paper's partial cache: "the warehouse may choose
+  to cache part of the above structure, e.g., without the values of
+  atomic nodes (which may be large...)".  Structure questions (paths,
+  ancestors, children) are answered locally; value tests still query.
+* ``FULL`` — everything including atomic values: "the warehouse can
+  maintain the view locally, for any base update" (except inserts that
+  graft whole unseen subtrees into the region, which the paper also
+  flags: "for another update like inserting an edge between object REL
+  and another object with label r, the algorithm may still need to
+  examine the base database").
+
+"The auxiliary structure itself needs to be maintained ... it is simply
+another materialized view": :meth:`AuxiliaryCache.apply_notification`
+is that maintenance, fed by the same update stream, pulling missing
+contents from the source only when the notification level does not
+carry them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.warehouse.protocol import (
+    ObjectPayload,
+    ReportingLevel,
+    UpdateNotification,
+)
+from repro.gsdb.updates import Delete, Insert, Modify
+from repro.warehouse.wrapper import SourceLink
+
+
+class CachePolicy(enum.Enum):
+    """How much of the auxiliary structure the warehouse keeps."""
+
+    NONE = "none"
+    STRUCTURE = "structure"  # paper's partial cache: no atomic values
+    FULL = "full"
+
+
+@dataclass
+class CacheEntry:
+    """One cached object: full payload, minus value under STRUCTURE."""
+
+    oid: str
+    label: str
+    type: str
+    children: tuple[str, ...]  # empty for atomic objects
+    value: object | None  # None when not cached (STRUCTURE) or set type
+    depth: int  # distance from ROOT along the view path
+    parent: str | None
+
+    @property
+    def is_set(self) -> bool:
+        return self.type == "set"
+
+
+class AuxiliaryCache:
+    """The cached path region for one simple view at one source."""
+
+    def __init__(
+        self,
+        root: str,
+        labels: tuple[str, ...],
+        policy: CachePolicy,
+        link: SourceLink,
+    ) -> None:
+        self.root = root
+        self.labels = labels
+        self.policy = CachePolicy(policy)
+        self.link = link
+        self.entries: dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- population --------------------------------------------------------
+
+    def seed(self) -> int:
+        """Populate the region by querying the source (one-time cost;
+        experiments snapshot the message log around it).  Returns the
+        number of cached entries."""
+        if self.policy is CachePolicy.NONE:
+            return 0
+        root_payload = self.link.fetch_object(self.root)
+        if root_payload is None:
+            return 0
+        self._admit(root_payload, depth=0, parent=None)
+        frontier = [self.root]
+        for depth, label in enumerate(self.labels):
+            next_frontier: list[str] = []
+            for oid in frontier:
+                entry = self.entries.get(oid)
+                if entry is None or not entry.is_set:
+                    continue
+                for child_oid in entry.children:
+                    payload = self.link.fetch_object(child_oid)
+                    if payload is None or payload.label != label:
+                        continue
+                    self._admit(payload, depth=depth + 1, parent=oid)
+                    next_frontier.append(child_oid)
+            frontier = next_frontier
+        return len(self.entries)
+
+    def _admit(
+        self, payload: ObjectPayload, *, depth: int, parent: str | None
+    ) -> None:
+        is_set = payload.type == "set"
+        children = tuple(payload.value) if is_set else ()
+        value: object | None = None
+        if not is_set and self.policy is CachePolicy.FULL:
+            value = payload.value
+        self.entries[payload.oid] = CacheEntry(
+            oid=payload.oid,
+            label=payload.label,
+            type=payload.type,
+            children=children,
+            value=value,
+            depth=depth,
+            parent=parent,
+        )
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, oid: str) -> CacheEntry | None:
+        entry = self.entries.get(oid)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def parent_of(self, oid: str) -> str | None:
+        entry = self.entries.get(oid)
+        return entry.parent if entry is not None else None
+
+    def root_path(self, oid: str) -> tuple[list[str], list[str]] | None:
+        """Reconstruct ``path(ROOT, oid)`` from cached parent pointers.
+
+        Returns ``(oid_chain, labels)`` or None when *oid* is outside
+        the region.  Saves the warehouse a ``PATH_TO_ROOT`` query for
+        any cached object.
+        """
+        entry = self.entries.get(oid)
+        if entry is None:
+            return None
+        chain = [oid]
+        labels: list[str] = []
+        current = entry
+        while current.oid != self.root:
+            labels.append(current.label)
+            if current.parent is None:
+                return None
+            parent = self.entries.get(current.parent)
+            if parent is None:
+                return None
+            chain.append(parent.oid)
+            current = parent
+        chain.reverse()
+        labels.reverse()
+        self.hits += 1
+        return chain, labels
+
+    def region_descendants(
+        self, oid: str, labels: tuple[str, ...]
+    ) -> list[CacheEntry] | None:
+        """Walk *labels* below *oid* entirely inside the cached region.
+
+        Returns None when the walk cannot be answered from the cache
+        (object not cached, or labels misaligned with the region path).
+        The region is *complete*: every child of a cached object whose
+        label continues the view path is itself cached (seed and insert
+        maintenance both guarantee it), so a non-None answer is exactly
+        ``oid.labels`` — the paper's "view maintenance ... can be done
+        locally at the warehouse".
+        """
+        entry = self.entries.get(oid)
+        if entry is None:
+            return None
+        expected = self.labels[entry.depth : entry.depth + len(labels)]
+        if tuple(labels) != tuple(expected):
+            return None
+        if entry.depth + len(labels) > len(self.labels):
+            return None
+        frontier = [entry]
+        for label in labels:
+            next_frontier: list[CacheEntry] = []
+            for current in frontier:
+                for child_oid in current.children:
+                    child = self.entries.get(child_oid)
+                    if (
+                        child is not None
+                        and child.depth == current.depth + 1
+                        and child.label == label
+                    ):
+                        next_frontier.append(child)
+            frontier = next_frontier
+            if not frontier:
+                break
+        self.hits += 1
+        return frontier
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def apply_notification(self, notification: UpdateNotification) -> None:
+        """Keep the region current given one update notification.
+
+        Contents missing from the notification (level 1) are fetched
+        from the source — those queries are the "maintenance overhead"
+        of the auxiliary view, which the paper assumes is small.
+        """
+        if self.policy is CachePolicy.NONE:
+            return
+        update = notification.update
+        if isinstance(update, Insert):
+            self._on_insert(notification, update)
+        elif isinstance(update, Delete):
+            self._on_delete(update)
+        elif isinstance(update, Modify):
+            self._on_modify(notification, update)
+
+    def _payload_for(
+        self, notification: UpdateNotification, oid: str
+    ) -> ObjectPayload | None:
+        if notification.level >= ReportingLevel.WITH_CONTENTS:
+            payload = notification.content_for(oid)
+            if payload is not None:
+                return payload
+        return self.link.fetch_object(oid)
+
+    def _on_insert(
+        self, notification: UpdateNotification, update: Insert
+    ) -> None:
+        parent_entry = self.entries.get(update.parent)
+        if parent_entry is None:
+            return
+        parent_entry.children = tuple(
+            sorted(set(parent_entry.children) | {update.child})
+        )
+        depth = parent_entry.depth
+        if depth >= len(self.labels):
+            return
+        child_payload = self._payload_for(notification, update.child)
+        if child_payload is None or child_payload.label != self.labels[depth]:
+            return
+        self._admit(child_payload, depth=depth + 1, parent=update.parent)
+        self._extend_below(update.child)
+
+    def _extend_below(self, oid: str) -> None:
+        """Pull in the region part of a freshly grafted subtree."""
+        entry = self.entries[oid]
+        depth = entry.depth
+        if depth >= len(self.labels) or not entry.is_set:
+            return
+        wanted = self.labels[depth]
+        for child_oid in entry.children:
+            if child_oid in self.entries:
+                continue
+            payload = self.link.fetch_object(child_oid)
+            if payload is None or payload.label != wanted:
+                continue
+            self._admit(payload, depth=depth + 1, parent=oid)
+            self._extend_below(child_oid)
+
+    def _on_delete(self, update: Delete) -> None:
+        parent_entry = self.entries.get(update.parent)
+        if parent_entry is not None:
+            parent_entry.children = tuple(
+                c for c in parent_entry.children if c != update.child
+            )
+        child_entry = self.entries.get(update.child)
+        if child_entry is not None and child_entry.parent == update.parent:
+            self._evict_subtree(update.child)
+
+    def _evict_subtree(self, oid: str) -> None:
+        entry = self.entries.pop(oid, None)
+        if entry is None:
+            return
+        for child_oid in entry.children:
+            child = self.entries.get(child_oid)
+            if child is not None and child.parent == oid:
+                self._evict_subtree(child_oid)
+
+    def _on_modify(
+        self, notification: UpdateNotification, update: Modify
+    ) -> None:
+        entry = self.entries.get(update.oid)
+        if entry is None or entry.is_set:
+            return
+        if self.policy is CachePolicy.FULL:
+            entry.value = update.new_value

@@ -1,0 +1,88 @@
+"""Path ("schema") knowledge for update screening (paper Section 5.2).
+
+"Maintenance can also be improved with knowledge of paths that can
+never occur ... at the source.  For example, assume that the warehouse
+knows that at the source objects labeled ``student`` do not have a
+child object with label ``salary``.  Consider then a view ST defined by
+``SELECT ROOT.student.?`` ... when a source update ``modify(X, ov,
+nv)`` occurs and ``label(X) = salary``, the warehouse knows that view
+ST is unaffected.  This path knowledge can be considered a type of
+'schema' for certain objects and their children [GW97]."
+
+:class:`PathKnowledge` records never-follows constraints between parent
+and child labels and decides whether a given label can possibly occur
+on an instance of a view's path expression.
+"""
+
+from __future__ import annotations
+
+from repro.paths.expression import (
+    AnyLabelSegment,
+    AnyPathSegment,
+    LabelSegment,
+    PathExpression,
+)
+
+
+class PathKnowledge:
+    """Never-follows constraints between labels.
+
+    ``forbid(parent_label, child_label)`` asserts that an object labeled
+    *parent_label* never has a direct child labeled *child_label*.
+    """
+
+    def __init__(self) -> None:
+        self._forbidden: dict[str, set[str]] = {}
+
+    def forbid(self, parent_label: str, child_label: str) -> None:
+        self._forbidden.setdefault(parent_label, set()).add(child_label)
+
+    def may_follow(self, parent_label: str, child_label: str) -> bool:
+        """Can *child_label* appear directly below *parent_label*?"""
+        return child_label not in self._forbidden.get(parent_label, ())
+
+    # -- screening -------------------------------------------------------------
+
+    def label_feasible_on(
+        self, expression: PathExpression, label: str
+    ) -> bool:
+        """Can an object labeled *label* occur anywhere on an instance of
+        *expression* (respecting never-follows constraints)?
+
+        Sound over-approximation: returns True when unsure.  A ``False``
+        answer lets the warehouse drop the update without any source
+        query.
+        """
+        segments = expression.segments
+        for position, segment in enumerate(segments):
+            if isinstance(segment, LabelSegment):
+                if label not in segment.labels:
+                    continue
+            elif isinstance(segment, (AnyLabelSegment, AnyPathSegment)):
+                pass  # wildcard admits any label a priori
+            if self._position_feasible(segments, position, label):
+                return True
+        return False
+
+    def _position_feasible(
+        self, segments, position: int, label: str
+    ) -> bool:
+        """Check the never-follows constraint against the predecessor
+        segment when that predecessor pins down a unique label."""
+        if position == 0:
+            return True
+        predecessor = segments[position - 1]
+        if isinstance(predecessor, LabelSegment) and len(predecessor.labels) == 1:
+            (parent_label,) = predecessor.labels
+            return self.may_follow(parent_label, label)
+        if isinstance(predecessor, AnyPathSegment):
+            # '*' may match the empty path; then the effective
+            # predecessor is the one before it.
+            if self._position_feasible(segments, position - 1, label):
+                return True
+            return True  # '*' may also end on an unknown label: unsure
+        return True  # '?' or multi-label: predecessor label unknown
+
+    def constraints(self) -> dict[str, set[str]]:
+        """A copy of the never-follows map (for reporting)."""
+        return {parent: set(kids) for parent, kids in self._forbidden.items()}

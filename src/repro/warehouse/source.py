@@ -1,0 +1,138 @@
+"""Data sources: autonomous stores with a query interface.
+
+Paper Section 5 / Figure 6: base objects live at sources; the warehouse
+"cannot control actions on source objects, but it can send queries to
+the source and obtain answers evaluated at the current source state".
+
+A :class:`Source` wraps an :class:`~repro.gsdb.store.ObjectStore` with
+
+* a declared :class:`SourceCapability` — what queries it can answer
+  (Section 5.1: "when a source can only support some simple querying
+  interface, the warehouse can decompose the evaluation of a function
+  into multiple simple queries");
+* a parent index (sources know their own structure);
+* the ``serve`` method, the single entry point for warehouse queries.
+
+OIDs are made universally unique by prefixing with the source id when
+requested (Section 5: "attaching the OIDs at the source with a unique
+source ID"); workload generators handle that, the source just owns its
+namespace.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import CapabilityError, UnknownObjectError
+from repro.gsdb.indexes import ParentIndex
+from repro.gsdb.store import ObjectStore
+from repro.gsdb.traversal import follow_path, path_between
+from repro.warehouse.protocol import (
+    ObjectPayload,
+    PathPayload,
+    QueryAnswer,
+    QueryKind,
+    SourceQuery,
+    payload_from_object,
+)
+
+
+class SourceCapability(enum.IntEnum):
+    """What a source's wrapper can evaluate (ordered by power)."""
+
+    FETCH_ONLY = 1  # fetch by OID, fetch parents of an OID
+    PATH_QUERIES = 2  # + path_from (N.p) and path_to_root
+
+
+class Source:
+    """One autonomous data source."""
+
+    def __init__(
+        self,
+        source_id: str,
+        store: ObjectStore,
+        root: str,
+        *,
+        capability: SourceCapability = SourceCapability.PATH_QUERIES,
+    ) -> None:
+        self.source_id = source_id
+        self.store = store
+        self.root = root
+        self.capability = capability
+        self.parent_index = ParentIndex(store)
+        self.queries_served = 0
+
+    # -- query service -------------------------------------------------------
+
+    def serve(self, query: SourceQuery) -> QueryAnswer:
+        """Answer one warehouse query at the current source state.
+
+        Raises:
+            CapabilityError: when the query exceeds the declared
+                capability (the warehouse's wrapper must decompose).
+        """
+        self.queries_served += 1
+        if query.kind is QueryKind.FETCH_OBJECT:
+            return self._fetch_object(query.target)
+        if query.kind is QueryKind.FETCH_PARENTS:
+            return self._fetch_parents(query.target)
+        if self.capability < SourceCapability.PATH_QUERIES:
+            raise CapabilityError(
+                f"source {self.source_id!r} cannot answer {query.kind.value}"
+            )
+        if query.kind is QueryKind.PATH_FROM:
+            return self._path_from(query.target, query.labels)
+        if query.kind is QueryKind.PATH_TO_ROOT:
+            return self._path_to_root(query.target)
+        raise CapabilityError(f"unknown query kind: {query.kind!r}")
+
+    # -- individual query kinds --------------------------------------------------
+
+    def _payloads(self, oids) -> tuple[ObjectPayload, ...]:
+        payloads = []
+        for oid in sorted(oids):
+            obj = self.store.get_optional(oid)
+            if obj is not None:
+                payloads.append(payload_from_object(obj))
+        return tuple(payloads)
+
+    def _fetch_object(self, oid: str) -> QueryAnswer:
+        obj = self.store.get_optional(oid)
+        if obj is None:
+            return QueryAnswer()
+        return QueryAnswer(objects=(payload_from_object(obj),))
+
+    def _fetch_parents(self, oid: str) -> QueryAnswer:
+        parents = self.parent_index.parents(oid)
+        return QueryAnswer(objects=self._payloads(parents))
+
+    def _path_from(self, start: str, labels: tuple[str, ...]) -> QueryAnswer:
+        if start not in self.store:
+            return QueryAnswer()
+        reached = follow_path(self.store, start, labels)
+        return QueryAnswer(objects=self._payloads(reached))
+
+    def _path_to_root(self, target: str) -> QueryAnswer:
+        if target not in self.store:
+            return QueryAnswer()
+        labels = path_between(
+            self.store, self.root, target, parent_index=self.parent_index
+        )
+        if labels is None:
+            return QueryAnswer()
+        chain = [target]
+        current = target
+        while current != self.root:
+            parent = self.parent_index.parent(current)
+            if parent is None:  # pragma: no cover - tree precondition
+                raise UnknownObjectError(current)
+            chain.append(parent)
+            current = parent
+        chain.reverse()
+        return QueryAnswer(
+            path=PathPayload(
+                target=target,
+                oid_chain=tuple(chain),
+                labels=tuple(labels),
+            )
+        )

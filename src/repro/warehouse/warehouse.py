@@ -1,0 +1,484 @@
+"""The warehouse: remote view maintenance over sources (paper Section 5).
+
+The key claim of Section 5.1 is that "the warehouse can apply the same
+algorithm" — Algorithm 1 — with the evaluation functions realized by
+source queries, notification contents, and cached auxiliary structure.
+We realize that literally:
+
+* :class:`RemoteBaseStore` duck-types the read interface of
+  :class:`~repro.gsdb.store.ObjectStore` (``get`` / ``get_optional`` /
+  ``counters``), resolving each object through, in order, the current
+  notification's payload *seeds*, the auxiliary cache, and finally a
+  source query.  The unchanged traversal machinery (``eval``, path
+  following) then runs against it, and every cache miss is a metered
+  source query.
+* :class:`RemoteParentIndex` duck-types
+  :class:`~repro.gsdb.indexes.ParentIndex.parent`, resolving parents
+  through level-3 path payloads, the cache, or ``fetch_parents``.
+* :class:`RemoteViewMaintainer` *is*
+  :class:`~repro.views.maintenance.SimpleViewMaintainer` — subclassed
+  only to (a) screen notifications using labels/values shipped at level
+  ≥ 2 and path knowledge (Section 5.2), and (b) answer ``path(ROOT,N)``
+  from level-3 payloads before falling back to a ``PATH_TO_ROOT`` query.
+
+:class:`Warehouse` wires sources, monitors, links, caches, and views
+together and keeps per-update statistics for experiments E5/E6/E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownObjectError
+from repro.gsdb.object import Object
+from repro.gsdb.store import ObjectStore
+from repro.gsdb.updates import Update
+from repro.instrumentation.counters import CostCounters
+from repro.paths.path import Path
+from repro.views.definition import ViewDefinition
+from repro.views.maintenance import SimpleViewMaintainer
+from repro.views.materialized import MaterializedView
+from repro.views.recompute import compute_view_members
+from repro.warehouse.caching import AuxiliaryCache, CachePolicy
+from repro.warehouse.monitor import Monitor
+from repro.warehouse.protocol import (
+    MessageLog,
+    ObjectPayload,
+    ReportingLevel,
+    UpdateNotification,
+)
+from repro.warehouse.schema_knowledge import PathKnowledge
+from repro.warehouse.source import Source
+from repro.warehouse.wrapper import SourceLink
+
+
+def _object_from_payload(payload: ObjectPayload) -> Object:
+    if payload.type == "set":
+        return Object.set_object(payload.oid, payload.label, payload.value)
+    return Object(payload.oid, payload.label, payload.type, payload.value)
+
+
+class RemoteBaseStore:
+    """Store-shaped view of a remote source (seeds → cache → queries)."""
+
+    def __init__(
+        self,
+        link: SourceLink,
+        cache: AuxiliaryCache | None,
+        counters: CostCounters,
+    ) -> None:
+        self.link = link
+        self.cache = cache
+        self.counters = counters
+        self._seeds: dict[str, Object] = {}
+        self._negative: set[str] = set()
+
+    # -- seeding (per-notification payload) ----------------------------------
+
+    def begin_update(self, notification: UpdateNotification) -> None:
+        """Reset per-update memo and seed it from the notification."""
+        self._seeds.clear()
+        self._negative.clear()
+        for payload in notification.contents:
+            self._seeds[payload.oid] = _object_from_payload(payload)
+
+    # -- ObjectStore read interface ----------------------------------------------
+
+    def get_optional(self, oid: str) -> Object | None:
+        self.counters.object_reads += 1
+        seeded = self._seeds.get(oid)
+        if seeded is not None:
+            return seeded
+        if oid in self._negative:
+            return None
+        if self.cache is not None:
+            entry = self.cache.lookup(oid)
+            if entry is not None:
+                if entry.is_set:
+                    obj = Object.set_object(oid, entry.label, entry.children)
+                    self._seeds[oid] = obj
+                    return obj
+                if entry.value is not None:
+                    obj = Object(oid, entry.label, entry.type, entry.value)
+                    self._seeds[oid] = obj
+                    return obj
+                # STRUCTURE policy: atomic value not cached — fall through
+                # to a source query (the paper's "some simple queries may
+                # need to be sent back to the source to test a condition").
+        payload = self.link.fetch_object(oid)
+        if payload is None:
+            self._negative.add(oid)
+            return None
+        obj = _object_from_payload(payload)
+        self._seeds[oid] = obj
+        return obj
+
+    def get(self, oid: str) -> Object:
+        obj = self.get_optional(oid)
+        if obj is None:
+            raise UnknownObjectError(oid)
+        return obj
+
+    def __contains__(self, oid: str) -> bool:
+        return self.get_optional(oid) is not None
+
+
+class RemoteParentIndex:
+    """Parent lookups resolved via path payloads, cache, or queries."""
+
+    def __init__(
+        self, link: SourceLink, cache: AuxiliaryCache | None
+    ) -> None:
+        self.link = link
+        self.cache = cache
+        self._hints: dict[str, str] = {}
+
+    def begin_update(self, notification: UpdateNotification) -> None:
+        self._hints.clear()
+        for payload in notification.paths:
+            chain = payload.oid_chain
+            for parent, child in zip(chain, chain[1:]):
+                self._hints[child] = parent
+
+    def add_hint(self, child: str, parent: str) -> None:
+        self._hints[child] = parent
+
+    def parent(self, oid: str) -> str | None:
+        hinted = self._hints.get(oid)
+        if hinted is not None:
+            return hinted
+        if self.cache is not None:
+            cached = self.cache.parent_of(oid)
+            if cached is not None:
+                self._hints[oid] = cached
+                return cached
+        parents = self.link.fetch_parents(oid)
+        if not parents:
+            return None
+        parent = parents[0].oid
+        self._hints[oid] = parent
+        return parent
+
+    def parents(self, oid: str) -> set[str]:
+        parent = self.parent(oid)
+        return {parent} if parent is not None else set()
+
+
+class RemoteViewMaintainer(SimpleViewMaintainer):
+    """Algorithm 1 at the warehouse, with screening and payload reuse."""
+
+    def __init__(
+        self,
+        view: MaterializedView,
+        remote_store: RemoteBaseStore,
+        remote_index: RemoteParentIndex,
+        link: SourceLink,
+        *,
+        knowledge: PathKnowledge | None = None,
+        screen: bool = True,
+    ) -> None:
+        super().__init__(view, parent_index=remote_index)  # type: ignore[arg-type]
+        self.base = remote_store  # remote resolution replaces local store
+        self.link = link
+        self.knowledge = knowledge
+        self.screen = screen
+        self.notifications_processed = 0
+        self.notifications_screened = 0
+        self._current: UpdateNotification | None = None
+
+    # -- entry point -----------------------------------------------------------
+
+    def process(self, notification: UpdateNotification) -> bool:
+        """Handle one notification; returns False when screened out."""
+        self.notifications_processed += 1
+        if self.screen and self._screened_out(notification):
+            self.notifications_screened += 1
+            return False
+        self._current = notification
+        self.base.begin_update(notification)
+        index = self.parent_index
+        assert isinstance(index, RemoteParentIndex)
+        index.begin_update(notification)
+        try:
+            self.handle(notification.update)
+        finally:
+            self._current = None
+        return True
+
+    # -- screening (paper Section 5.1 scenario 2 + Section 5.2 knowledge) ----------
+
+    def _screened_out(self, notification: UpdateNotification) -> bool:
+        update = notification.update
+        label = self._moved_label(notification)
+        if label is None:
+            return False  # level 1: nothing to screen with
+        full_labels = set(self.full_path.labels)
+        if label not in full_labels:
+            # The moved/modified object's label does not occur on the
+            # view path at all: irrelevant, unless it is a *member's*
+            # value change that needs a delegate refresh.
+            return not self._affects_member(update)
+        if self.knowledge is not None:
+            expression = self.view.definition.full_expression()
+            if not self.knowledge.label_feasible_on(expression, label):
+                return not self._affects_member(update)
+        return False
+
+    def _moved_label(self, notification: UpdateNotification) -> str | None:
+        """Label of the moved/modified object, when the level ships it."""
+        if notification.level < ReportingLevel.WITH_CONTENTS:
+            return None
+        update = notification.update
+        # insert/delete move a child; modify touches one object.
+        target = getattr(update, "child", None) or update.oid
+        payload = notification.content_for(target)
+        return payload.label if payload is not None else None
+
+    def _affects_member(self, update: Update) -> bool:
+        return any(
+            self.view.contains(oid) for oid in update.directly_affected
+        )
+
+    # -- evaluation-function overrides ---------------------------------------------
+
+    def _eval(self, oid: str, path: Path) -> set[str]:
+        """``eval(N, p, cond)``, answered from the cached region when the
+        walk stays inside it (the region is complete for path-relevant
+        children, so no sibling probing is needed); atomic values absent
+        under the STRUCTURE policy are fetched individually — "some
+        simple queries may need to be sent back to the source to test a
+        condition" (Section 5.2)."""
+        cache = self.base.cache if isinstance(self.base, RemoteBaseStore) else None
+        if cache is not None:
+            entries = cache.region_descendants(oid, tuple(path.labels))
+            if entries is not None:
+                witnesses: set[str] = set()
+                for entry in entries:
+                    if entry.is_set:
+                        continue
+                    value = entry.value
+                    if value is None:  # STRUCTURE policy: fetch the value
+                        obj = self.base.get_optional(entry.oid)
+                        if obj is None or obj.is_set:
+                            continue
+                        value = obj.atomic_value()
+                    if self.cond(value):
+                        witnesses.add(entry.oid)
+                return witnesses
+        return super()._eval(oid, path)
+
+    def _path_from_root(self, oid: str) -> Path | None:
+        # Level 3 ships path(ROOT, N) for the directly affected objects;
+        # the cached region can reconstruct it for any cached object;
+        # otherwise one PATH_TO_ROOT query.
+        if oid == self.root:
+            return Path(())
+        if self._current is not None:
+            payload = self._current.path_for(oid)
+            if payload is not None:
+                return Path(payload.labels)
+        cache = self.base.cache if isinstance(self.base, RemoteBaseStore) else None
+        if cache is not None:
+            reconstructed = cache.root_path(oid)
+            if reconstructed is not None:
+                chain, labels = reconstructed
+                self._hint_chain(chain)
+                return Path(labels)
+        answer = self.link.path_to_root(oid)
+        if answer is None:
+            return None
+        self._hint_chain(answer.oid_chain)
+        return Path(answer.labels)
+
+    def _hint_chain(self, chain) -> None:
+        index = self.parent_index
+        assert isinstance(index, RemoteParentIndex)
+        for parent, child in zip(chain, chain[1:]):
+            index.add_hint(child, parent)
+
+    def _surviving_ancestor(self, parent_oid: str) -> str | None:
+        chain = self._oid_chain(parent_oid)
+        if chain is None or len(self.sel_path) >= len(chain):
+            return None
+        return chain[len(self.sel_path)]
+
+    def _oid_chain(self, oid: str) -> list[str] | None:
+        if oid == self.root:
+            return [oid]
+        if self._current is not None:
+            payload = self._current.path_for(oid)
+            if payload is not None:
+                return list(payload.oid_chain)
+        cache = self.base.cache if isinstance(self.base, RemoteBaseStore) else None
+        if cache is not None:
+            reconstructed = cache.root_path(oid)
+            if reconstructed is not None:
+                return reconstructed[0]
+        answer = self.link.path_to_root(oid)
+        return list(answer.oid_chain) if answer is not None else None
+
+
+@dataclass
+class WarehouseViewStats:
+    """Per-view accounting across processed notifications."""
+
+    notifications: int = 0
+    screened: int = 0
+    source_queries: int = 0
+    per_update_queries: list[int] = field(default_factory=list)
+    bulk_batches: int = 0
+    bulk_batches_screened: int = 0
+
+
+class Warehouse:
+    """Views + caches over one or more monitored sources (Figure 6)."""
+
+    def __init__(self) -> None:
+        self.view_store = ObjectStore()
+        self.counters = self.view_store.counters
+        self.log = MessageLog()
+        self.links: dict[str, SourceLink] = {}
+        self.monitors: dict[str, Monitor] = {}
+        self.views: dict[str, "WarehouseView"] = {}
+
+    # -- wiring -------------------------------------------------------------------
+
+    def connect(
+        self,
+        source: Source,
+        *,
+        level: ReportingLevel = ReportingLevel.OIDS_ONLY,
+    ) -> SourceLink:
+        """Attach a source: create its link and monitor."""
+        link = SourceLink(source, log=self.log, counters=self.counters)
+        self.links[source.source_id] = link
+        monitor = Monitor(source, level)
+        monitor.register(self._dispatch)
+        self.monitors[source.source_id] = monitor
+        return link
+
+    def define_view(
+        self,
+        definition: ViewDefinition | str,
+        source_id: str,
+        *,
+        cache_policy: CachePolicy = CachePolicy.NONE,
+        knowledge: PathKnowledge | None = None,
+        screen: bool = True,
+    ) -> "WarehouseView":
+        """Define and initially populate a warehouse view over a source."""
+        if isinstance(definition, str):
+            definition = ViewDefinition.parse(definition)
+        link = self.links[source_id]
+        cache: AuxiliaryCache | None = None
+        if cache_policy is not CachePolicy.NONE:
+            cache = AuxiliaryCache(
+                definition.entry,
+                definition.full_path().labels,
+                cache_policy,
+                link,
+            )
+            cache.seed()
+        remote_store = RemoteBaseStore(link, cache, self.counters)
+        remote_index = RemoteParentIndex(link, cache)
+        mview = MaterializedView(
+            definition, remote_store, self.view_store  # type: ignore[arg-type]
+        )
+        members = compute_view_members(definition, remote_store)  # type: ignore[arg-type]
+        mview.load_members(members)
+        maintainer = RemoteViewMaintainer(
+            mview,
+            remote_store,
+            remote_index,
+            link,
+            knowledge=knowledge,
+            screen=screen,
+        )
+        wview = WarehouseView(
+            source_id=source_id,
+            view=mview,
+            maintainer=maintainer,
+            cache=cache,
+            stats=WarehouseViewStats(),
+        )
+        self.views[definition.name] = wview
+        return wview
+
+    # -- bulk updates (Section 6, fourth open issue) -----------------------------------
+
+    def apply_bulk(self, source_id: str, bulk) -> list:
+        """Execute an intensional bulk update at a source and maintain
+        warehouse views *descriptor-first*.
+
+        The source's monitor is paused so the batch ships as one
+        descriptor instead of N notifications; each view is screened
+        with :func:`~repro.warehouse.bulk.bulk_is_relevant` and only
+        relevant views process the batch's individual updates.  Returns
+        the basic updates the bulk performed.
+
+        (Post-hoc notification assembly is safe for bulk *modifies*:
+        each atom is modified at most once per batch and modifies never
+        change paths, so per-update payloads equal post-batch state.)
+        """
+        from repro.warehouse.bulk import bulk_is_relevant, execute_bulk
+
+        monitor = self.monitors[source_id]
+        source = monitor.source
+        monitor.pause()
+        try:
+            applied = execute_bulk(source.store, source.root, bulk)
+            notifications = [
+                monitor.build_notification(update) for update in applied
+            ]
+        finally:
+            monitor.resume()
+        for wview in self.views.values():
+            if wview.source_id != source_id:
+                continue
+            wview.stats.bulk_batches += 1
+            if not bulk_is_relevant(wview.view.definition, bulk):
+                wview.stats.bulk_batches_screened += 1
+                continue
+            for notification in notifications:
+                self.log.record_notification(notification)
+                self._deliver(wview, notification)
+        return applied
+
+    # -- notification routing ----------------------------------------------------------
+
+    def _dispatch(self, notification: UpdateNotification) -> None:
+        self.log.record_notification(notification)
+        self.counters.messages_sent += 1
+        self.counters.bytes_sent += notification.estimated_size()
+        for wview in self.views.values():
+            if wview.source_id != notification.source_id:
+                continue
+            self._deliver(wview, notification)
+
+    def _deliver(
+        self, wview: "WarehouseView", notification: UpdateNotification
+    ) -> None:
+        before = self.log.queries
+        if wview.cache is not None:
+            wview.cache.apply_notification(notification)
+        processed = wview.maintainer.process(notification)
+        spent = self.log.queries - before
+        wview.stats.notifications += 1
+        if not processed:
+            wview.stats.screened += 1
+        wview.stats.source_queries += spent
+        wview.stats.per_update_queries.append(spent)
+
+
+@dataclass
+class WarehouseView:
+    """A warehouse-resident materialized view and its machinery."""
+
+    source_id: str
+    view: MaterializedView
+    maintainer: RemoteViewMaintainer
+    cache: AuxiliaryCache | None
+    stats: WarehouseViewStats
+
+    def members(self) -> set[str]:
+        return self.view.members()

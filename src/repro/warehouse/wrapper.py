@@ -1,0 +1,127 @@
+"""Warehouse-side source links with capability-aware decomposition.
+
+Paper Section 5.1 / Example 9: the warehouse translates the evaluation
+functions of Algorithm 1 into source queries.  "If the source can
+evaluate any queries required ... the warehouse can directly apply
+Algorithm 1.  When a source can only support some simple querying
+interface, then the warehouse can decompose the evaluation of a
+function into multiple simple queries" — which is why the number of
+queries explodes for weak sources (experiment E5 reports it).
+
+A :class:`SourceLink` is the only conduit: every exchange is recorded in
+the shared :class:`~repro.warehouse.protocol.MessageLog` and charged to
+``source_queries`` on the warehouse counters.
+"""
+
+from __future__ import annotations
+
+from repro.instrumentation.counters import CostCounters
+from repro.warehouse.protocol import (
+    MessageLog,
+    ObjectPayload,
+    PathPayload,
+    QueryAnswer,
+    QueryKind,
+    SourceQuery,
+)
+from repro.warehouse.source import Source, SourceCapability
+
+
+class SourceLink:
+    """The warehouse's handle on one source."""
+
+    def __init__(
+        self,
+        source: Source,
+        *,
+        log: MessageLog | None = None,
+        counters: CostCounters | None = None,
+    ) -> None:
+        self.source = source
+        self.log = log if log is not None else MessageLog()
+        self.counters = counters if counters is not None else CostCounters()
+
+    # -- raw exchange ---------------------------------------------------------
+
+    def ask(self, query: SourceQuery) -> QueryAnswer:
+        """Send one query, recording traffic and counting it."""
+        answer = self.source.serve(query)
+        self.log.record_query(query, answer)
+        self.counters.source_queries += 1
+        self.counters.messages_sent += 2  # query + answer
+        self.counters.bytes_sent += (
+            query.estimated_size() + answer.estimated_size()
+        )
+        return answer
+
+    # -- evaluation functions (capability-aware) ---------------------------------
+
+    def fetch_object(self, oid: str) -> ObjectPayload | None:
+        answer = self.ask(SourceQuery(QueryKind.FETCH_OBJECT, oid))
+        return answer.objects[0] if answer.objects else None
+
+    def fetch_parents(self, oid: str) -> tuple[ObjectPayload, ...]:
+        return self.ask(SourceQuery(QueryKind.FETCH_PARENTS, oid)).objects
+
+    def path_from(
+        self, oid: str, labels: tuple[str, ...]
+    ) -> tuple[ObjectPayload, ...]:
+        """``oid.labels`` at the source — one query for capable sources,
+        a fetch cascade for FETCH_ONLY ones."""
+        if self.source.capability >= SourceCapability.PATH_QUERIES:
+            return self.ask(
+                SourceQuery(QueryKind.PATH_FROM, oid, labels=labels)
+            ).objects
+        return self._decomposed_path_from(oid, labels)
+
+    def path_to_root(self, oid: str) -> PathPayload | None:
+        """``path(ROOT, oid)`` with the OID chain."""
+        if self.source.capability >= SourceCapability.PATH_QUERIES:
+            return self.ask(SourceQuery(QueryKind.PATH_TO_ROOT, oid)).path
+        return self._decomposed_path_to_root(oid)
+
+    # -- decompositions for weak sources ---------------------------------------------
+
+    def _decomposed_path_from(
+        self, oid: str, labels: tuple[str, ...]
+    ) -> tuple[ObjectPayload, ...]:
+        start = self.fetch_object(oid)
+        if start is None:
+            return ()
+        frontier: dict[str, ObjectPayload] = {oid: start}
+        for label in labels:
+            next_frontier: dict[str, ObjectPayload] = {}
+            for payload in frontier.values():
+                if payload.type != "set":
+                    continue
+                for child_oid in payload.value:  # tuple of OIDs
+                    if child_oid in next_frontier:
+                        continue
+                    child = self.fetch_object(child_oid)
+                    if child is not None and child.label == label:
+                        next_frontier[child_oid] = child
+            frontier = next_frontier
+            if not frontier:
+                break
+        return tuple(frontier[oid] for oid in sorted(frontier))
+
+    def _decomposed_path_to_root(self, oid: str) -> PathPayload | None:
+        root = self.source.root
+        chain = [oid]
+        labels: list[str] = []
+        current = oid
+        while current != root:
+            payload = self.fetch_object(current)
+            if payload is None:
+                return None
+            labels.append(payload.label)
+            parents = self.fetch_parents(current)
+            if not parents:
+                return None
+            chain.append(parents[0].oid)
+            current = parents[0].oid
+        chain.reverse()
+        labels.reverse()
+        return PathPayload(
+            target=oid, oid_chain=tuple(chain), labels=tuple(labels)
+        )

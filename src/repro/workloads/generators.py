@@ -1,0 +1,159 @@
+"""Synthetic GSDB generators: random trees, DAGs, and layered bases.
+
+Experiments E3/E8/E9 sweep structural parameters the paper's cost
+discussion identifies as decisive: path depth, fan-out, view
+selectivity, and sharing (tree vs DAG).  All generators are seeded and
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.gsdb.store import ObjectStore
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Parameters for :func:`layered_tree`."""
+
+    depth: int = 3  # number of label levels below the root
+    fanout: int = 3  # children per internal node
+    value_range: tuple[int, int] = (0, 100)
+    seed: int = 42
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """One label per level: ``l1 ... l<depth>`` (constant-path views
+        over the generated tree use prefixes of this)."""
+        return tuple(f"l{i + 1}" for i in range(self.depth))
+
+
+def layered_tree(
+    spec: TreeSpec, store: ObjectStore | None = None
+) -> tuple[ObjectStore, str]:
+    """A uniform tree: level *i* nodes carry label ``l<i>``; leaves are
+    atomic with random integer values, inner nodes are sets.
+
+    Returns ``(store, root_oid)``.  A simple view over it is
+    ``SELECT root.l1...l<k> X WHERE X.l<k+1>...l<depth> <op> <v>``.
+    """
+    s = store if store is not None else ObjectStore()
+    rng = random.Random(spec.seed)
+    counter = 0
+
+    def build(level: int) -> str:
+        nonlocal counter
+        counter += 1
+        oid = f"n{counter}"
+        label = "root" if level == 0 else spec.labels[level - 1]
+        if level == spec.depth:
+            s.add_atomic(oid, label, rng.randint(*spec.value_range))
+            return oid
+        children = [build(level + 1) for _ in range(spec.fanout)]
+        s.add_set(oid, label, children)
+        return oid
+
+    root = build(0)
+    return s, root
+
+
+def random_labelled_tree(
+    *,
+    nodes: int,
+    labels: tuple[str, ...] = ("a", "b", "c"),
+    value_range: tuple[int, int] = (0, 100),
+    atomic_fraction: float = 0.5,
+    seed: int = 42,
+    store: ObjectStore | None = None,
+) -> tuple[ObjectStore, str]:
+    """A random tree with arbitrary (repeatable) labels.
+
+    Node *i*'s parent is chosen uniformly among earlier set nodes, so
+    shapes vary from paths to stars.  Used by the property tests, where
+    non-unique labels must exercise the re-derivation logic of
+    Algorithm 1.  Returns ``(store, root_oid)``.
+    """
+    s = store if store is not None else ObjectStore()
+    rng = random.Random(seed)
+    s.add_set("root0", "root", [])
+    set_nodes = ["root0"]
+    for i in range(1, nodes):
+        oid = f"node{i}"
+        label = rng.choice(labels)
+        parent = rng.choice(set_nodes)
+        if rng.random() < atomic_fraction:
+            s.add_atomic(oid, label, rng.randint(*value_range))
+        else:
+            s.add_set(oid, label, [])
+            set_nodes.append(oid)
+        s.insert_edge(parent, oid)
+    return s, "root0"
+
+
+def layered_dag(
+    *,
+    depth: int = 3,
+    width: int = 4,
+    edges_per_node: int = 2,
+    value_range: tuple[int, int] = (0, 100),
+    seed: int = 42,
+    store: ObjectStore | None = None,
+    uniform_label: str | None = None,
+) -> tuple[ObjectStore, str]:
+    """A layered DAG: *width* nodes per level, each level-``i`` node
+    pointed at by ``edges_per_node`` random level-``i-1`` nodes, so
+    objects have multiple parents and multiple root paths — the
+    Section 6 DAG relaxation.  Level-``i`` nodes carry label ``l<i>``;
+    the last level is atomic.  Returns ``(store, root_oid)``.
+    """
+    s = store if store is not None else ObjectStore()
+    rng = random.Random(seed)
+    layers: list[list[str]] = []
+    # Build bottom-up: last layer first.  With *uniform_label*, every
+    # level shares one label — the repeated-label stress case for
+    # counting maintenance (an edge can match several path positions).
+    for level in reversed(range(1, depth + 1)):
+        label = uniform_label if uniform_label is not None else f"l{level}"
+        layer: list[str] = []
+        for w in range(width):
+            oid = f"d{level}_{w}"
+            if level == depth:
+                s.add_atomic(oid, label, rng.randint(*value_range))
+            else:
+                below = layers[-1]
+                kids = rng.sample(below, min(edges_per_node, len(below)))
+                s.add_set(oid, label, kids)
+            layer.append(oid)
+        layers.append(layer)
+    top = layers[-1]
+    s.add_set("dagroot", "root", top)
+    # Add extra cross edges parent→child between adjacent layers.
+    layers.reverse()  # now layers[0] = level 1 ... layers[-1] = level depth
+    for level in range(len(layers) - 1):
+        for oid in layers[level]:
+            obj = s.get(oid)
+            candidates = [
+                c for c in layers[level + 1] if c not in obj.children()
+            ]
+            extras = rng.sample(
+                candidates, min(edges_per_node - 1, len(candidates))
+            )
+            for child in extras:
+                s.insert_edge(oid, child)
+    return s, "dagroot"
+
+
+def count_objects(store: ObjectStore) -> tuple[int, int]:
+    """(set objects, atomic objects) in *store* — workload reporting."""
+    sets = atoms = 0
+    for oid in store.oids():
+        obj = store.get_optional(oid)
+        if obj is None:
+            continue
+        if obj.is_set:
+            sets += 1
+        else:
+            atoms += 1
+    return sets, atoms

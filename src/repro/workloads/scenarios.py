@@ -1,0 +1,184 @@
+"""The paper's own example databases, reconstructed exactly.
+
+* :func:`person_db` — Example 2 / Figure 2 (professors, a student, a
+  secretary).  The paper's graph is actually a small DAG (P3 is a child
+  of both ROOT and P1); ``tree=True`` gives the tree variant used when
+  exercising Algorithm 1, whose precondition is a tree base.
+* :func:`relations_db` — Example 7 / Figure 5: a GSDB encoding a set of
+  "relations" whose "tuples" have schemaless fields.  Parametrized so
+  experiment E2 can sweep view sizes.
+* :func:`web_db` — the Section 1 motivation: interlinked pages whose
+  word lists drive a "contains 'flower'" view.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.gsdb.database import DatabaseRegistry
+from repro.gsdb.store import ObjectStore
+
+
+def person_db(
+    store: ObjectStore | None = None, *, tree: bool = False
+) -> ObjectStore:
+    """Build Example 2's PERSON database contents.
+
+    Args:
+        store: target store (a fresh one when omitted).
+        tree: drop the ROOT → P3 edge so the base is a tree (P3 remains
+            reachable through P1), as required by Algorithm 1.
+    """
+    s = store if store is not None else ObjectStore()
+    s.add_atomic("N1", "name", "John")
+    s.add_atomic("A1", "age", 45)
+    s.add_atomic("S1", "salary", 100_000, type="dollar")
+    s.add_atomic("N3", "name", "John")
+    s.add_atomic("A3", "age", 20)
+    s.add_atomic("M3", "major", "education")
+    s.add_set("P3", "student", ["N3", "A3", "M3"])
+    s.add_set("P1", "professor", ["N1", "A1", "S1", "P3"])
+    s.add_atomic("N2", "name", "Sally")
+    s.add_atomic("ADD2", "address", "Palo Alto")
+    s.add_set("P2", "professor", ["N2", "ADD2"])
+    s.add_atomic("N4", "name", "Tom")
+    s.add_atomic("A4", "age", 40)
+    s.add_set("P4", "secretary", ["N4", "A4"])
+    children = ["P1", "P2", "P4"] if tree else ["P1", "P2", "P3", "P4"]
+    s.add_set("ROOT", "person", children)
+    return s
+
+
+PERSON_OIDS = (
+    "ROOT P1 P2 P3 N1 A1 S1 N2 ADD2 N3 A3 M3 P4 N4 A4".split()
+)
+
+
+def register_person_database(target) -> None:
+    """Create the PERSON database object of Example 2.
+
+    *target* is anything with a ``create_database(name, members)``
+    method — a :class:`~repro.views.catalog.ViewCatalog` (preferred:
+    it also excludes the grouping edges from the parent index) or a
+    bare :class:`DatabaseRegistry`.
+    """
+    target.create_database("PERSON", PERSON_OIDS)
+
+
+def relations_db(
+    store: ObjectStore | None = None,
+    *,
+    relations: int = 2,
+    tuples_per_relation: int = 10,
+    fields_per_tuple: int = 3,
+    age_range: tuple[int, int] = (20, 60),
+    seed: int = 7,
+) -> tuple[ObjectStore, str]:
+    """Build the Figure 5 database: ``REL`` → relations → tuples.
+
+    Each tuple gets an ``age`` field plus ``fields_per_tuple - 1``
+    filler fields (schemaless, as the paper notes: "each 'tuple' can
+    have different 'attributes'").  Returns ``(store, root_oid)``; the
+    root is ``REL``, relation r0 is labelled ``r`` (the paper's view
+    targets ``REL.r.tuple``), further relations get distinct labels.
+    """
+    s = store if store is not None else ObjectStore()
+    rng = random.Random(seed)
+    relation_oids = []
+    for r in range(relations):
+        label = "r" if r == 0 else f"rel{r}"
+        tuple_oids = []
+        for t in range(tuples_per_relation):
+            tid = f"t_{r}_{t}"
+            field_oids = []
+            age_oid = f"age_{r}_{t}"
+            s.add_atomic(age_oid, "age", rng.randint(*age_range))
+            field_oids.append(age_oid)
+            for f in range(fields_per_tuple - 1):
+                foid = f"f_{r}_{t}_{f}"
+                s.add_atomic(foid, f"field{f}", rng.randint(0, 1000))
+                field_oids.append(foid)
+            s.add_set(tid, "tuple", field_oids)
+            tuple_oids.append(tid)
+        roid = f"R{r}"
+        s.add_set(roid, label, tuple_oids)
+        relation_oids.append(roid)
+    s.add_set("REL", "relations", relation_oids)
+    return s, "REL"
+
+
+def insert_tuple(
+    store: ObjectStore,
+    relation_oid: str,
+    tuple_id: str,
+    *,
+    age: int,
+    extra_fields: int = 2,
+) -> str:
+    """Example 7's update: insert a new tuple ``T`` into a relation.
+
+    Creates the tuple object with an ``age`` field plus fillers, then
+    applies ``insert(relation, T)`` through the normal update path.
+    Returns the tuple OID.
+    """
+    field_oids = []
+    age_oid = f"age_{tuple_id}"
+    store.add_atomic(age_oid, "age", age)
+    field_oids.append(age_oid)
+    for f in range(extra_fields):
+        foid = f"f_{tuple_id}_{f}"
+        store.add_atomic(foid, f"field{f}", f)
+        field_oids.append(foid)
+    store.add_set(tuple_id, "tuple", field_oids)
+    store.insert_edge(relation_oid, tuple_id)
+    return tuple_id
+
+
+_WORDS = (
+    "flower garden rose tulip sun rain soil seed bloom leaf "
+    "stem petal bee honey tree park spring color scent vase"
+).split()
+
+
+def web_db(
+    store: ObjectStore | None = None,
+    *,
+    pages: int = 30,
+    words_per_page: int = 5,
+    links_per_page: int = 2,
+    seed: int = 13,
+) -> tuple[ObjectStore, str]:
+    """The Section 1 web scenario: pages with word and link children.
+
+    Pages form a tree below a ``site`` root (page p links to pages with
+    higher indexes so the base stays acyclic and singly-parented); each
+    page has ``word`` children drawn from a small flower-ish vocabulary
+    and a ``url`` child.  Returns ``(store, root_oid)``.
+    """
+    s = store if store is not None else ObjectStore()
+    rng = random.Random(seed)
+    page_children: dict[int, list[str]] = {p: [] for p in range(pages)}
+
+    # Assign each page (except page 0, the root's child layer) a single
+    # parent page with a smaller index: a tree of pages.
+    for p in range(1, pages):
+        parent = rng.randrange(0, p)
+        if len(page_children[parent]) < links_per_page:
+            page_children[parent].append(f"page{p}")
+        else:
+            page_children[0].append(f"page{p}")
+
+    # Build bottom-up so reference checking passes.
+    for p in reversed(range(pages)):
+        children: list[str] = []
+        url_oid = f"url{p}"
+        s.add_atomic(url_oid, "url", f"http://example.org/{p}")
+        children.append(url_oid)
+        for w in range(words_per_page):
+            woid = f"word{p}_{w}"
+            s.add_atomic(woid, "word", rng.choice(_WORDS))
+            children.append(woid)
+        children.extend(page_children[p])
+        s.add_set(f"page{p}", "page", children)
+    s.add_set("SITE", "site", ["page0"])
+    return s, "SITE"

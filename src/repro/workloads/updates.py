@@ -1,0 +1,214 @@
+"""Seeded random update streams over a live store.
+
+The maintenance experiments and the hypothesis property tests need
+streams of *valid* basic updates (paper Section 4.1) against an
+evolving base.  :class:`UpdateStream` generates them, optionally
+preserving tree shape (Algorithm 1's precondition) and optionally
+keeping a set of protected OIDs (roots, database objects) untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+from repro.gsdb.store import ObjectStore
+from repro.gsdb.updates import Delete, Insert, Update
+
+
+@dataclass
+class UpdateMix:
+    """Relative weights of the three basic update kinds."""
+
+    insert: float = 1.0
+    delete: float = 1.0
+    modify: float = 2.0
+
+
+@dataclass
+class UpdateStream:
+    """Generates and applies random valid updates.
+
+    Args:
+        store: the live base store.
+        seed: RNG seed.
+        mix: kind weights.
+        preserve_tree: only generate inserts whose child has no current
+            parent (keeps a tree base a tree).  Requires tracking, so
+            the stream maintains its own parent census from the log.
+        protected: OIDs never chosen as update subjects (e.g. the root).
+        protected_prefixes: OID prefixes never chosen — pass a view's
+            OID + "." to shield its delegates when views live in the
+            same store as the base.
+        labels_for_new: labels for freshly created atomic objects.
+        value_range: value range for new/modified atomics.
+    """
+
+    store: ObjectStore
+    seed: int = 42
+    mix: UpdateMix = field(default_factory=UpdateMix)
+    preserve_tree: bool = True
+    protected: frozenset[str] = frozenset()
+    protected_prefixes: tuple[str, ...] = ()
+    labels_for_new: tuple[str, ...] = ("age", "name", "score")
+    value_range: tuple[int, int] = (0, 100)
+
+    def _is_protected(self, oid: str) -> bool:
+        return oid in self.protected or any(
+            oid.startswith(prefix) for prefix in self.protected_prefixes
+        )
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._fresh = 0
+        self._parents: dict[str, set[str]] = {}
+        for oid in self.store.oids():
+            obj = self.store.get_optional(oid)
+            if obj is not None and obj.is_set:
+                for child in obj.children():
+                    self._parents.setdefault(child, set()).add(oid)
+
+    # -- census maintenance -----------------------------------------------------
+
+    def _note(self, update: Update) -> None:
+        if isinstance(update, Insert):
+            self._parents.setdefault(update.child, set()).add(update.parent)
+        elif isinstance(update, Delete):
+            parents = self._parents.get(update.child)
+            if parents is not None:
+                parents.discard(update.parent)
+
+    # -- candidate pools -----------------------------------------------------------
+
+    # Candidate pools use store.peek(): workload *generation* must not
+    # charge the cost counters the experiments measure.
+
+    def _set_oids(self) -> list[str]:
+        return [
+            oid
+            for oid in self.store.oids()
+            if (obj := self.store.peek(oid)) is not None
+            and obj.is_set
+            and not self._is_protected(oid)
+        ]
+
+    def _atomic_oids(self) -> list[str]:
+        return [
+            oid
+            for oid in self.store.oids()
+            if (obj := self.store.peek(oid)) is not None
+            and obj.is_atomic
+            and not self._is_protected(oid)
+        ]
+
+    def _edges(self) -> list[tuple[str, str]]:
+        edges = []
+        for oid in self.store.oids():
+            if self._is_protected(oid):
+                continue
+            obj = self.store.peek(oid)
+            if obj is not None and obj.is_set:
+                for child in obj.sorted_children():
+                    edges.append((oid, child))
+        return edges
+
+    # -- generation --------------------------------------------------------------------
+
+    def step(self) -> Update | None:
+        """Generate and apply one random update; None if impossible."""
+        weights = [self.mix.insert, self.mix.delete, self.mix.modify]
+        kinds = ["insert", "delete", "modify"]
+        for _ in range(8):  # retry on infeasible picks
+            kind = self._rng.choices(kinds, weights=weights)[0]
+            update = getattr(self, f"_try_{kind}")()
+            if update is not None:
+                self._note(update)
+                return update
+        return None
+
+    def run(self, count: int) -> list[Update]:
+        """Apply up to *count* updates; returns those applied."""
+        applied = []
+        for _ in range(count):
+            update = self.step()
+            if update is None:
+                break
+            applied.append(update)
+        return applied
+
+    # -- per-kind attempts ----------------------------------------------------------------
+
+    def _try_insert(self) -> Update | None:
+        parents = self._set_oids()
+        if not parents:
+            return None
+        parent = self._rng.choice(parents)
+        # Either create a fresh atomic child, or (when allowed) re-link
+        # an existing orphan subtree.
+        if not self.preserve_tree and self._rng.random() < 0.3:
+            orphanable = [
+                oid
+                for oid in self.store.oids()
+                if not self._parents.get(oid) and oid != parent
+                and not self._is_protected(oid)
+            ]
+            if orphanable:
+                child = self._rng.choice(orphanable)
+                parent_obj = self.store.peek(parent)
+                if child not in parent_obj.children():
+                    return self.store.insert_edge(parent, child)
+        self._fresh += 1
+        child = f"gen{self._fresh}"
+        label = self._rng.choice(self.labels_for_new)
+        self.store.add_atomic(
+            child, label, self._rng.randint(*self.value_range)
+        )
+        return self.store.insert_edge(parent, child)
+
+    def _try_delete(self) -> Update | None:
+        edges = self._edges()
+        if not edges:
+            return None
+        parent, child = self._rng.choice(edges)
+        return self.store.delete_edge(parent, child)
+
+    def _try_modify(self) -> Update | None:
+        atoms = self._atomic_oids()
+        candidates = [
+            oid
+            for oid in atoms
+            if isinstance(self.store.peek(oid).atomic_value(), int)
+        ]
+        if not candidates:
+            return None
+        oid = self._rng.choice(candidates)
+        return self.store.modify_value(
+            oid, self._rng.randint(*self.value_range)
+        )
+
+
+def burst_of_tuples(
+    store: ObjectStore,
+    relation_oid: str,
+    count: int,
+    *,
+    prefix: str,
+    age_range: tuple[int, int] = (20, 60),
+    seed: int = 7,
+) -> list[str]:
+    """Insert *count* Example 7 tuples under one relation (E2 workload)."""
+    from repro.workloads.scenarios import insert_tuple
+
+    rng = random.Random(seed)
+    inserted = []
+    for i in range(count):
+        inserted.append(
+            insert_tuple(
+                store,
+                relation_oid,
+                f"{prefix}{i}",
+                age=rng.randint(*age_range),
+            )
+        )
+    return inserted

@@ -1,0 +1,63 @@
+"""Shared fixtures: the paper's example databases in various shapes."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import settings
+
+# Property tests set per-test example counts; the "stress" profile
+# multiplies effort for deeper soak runs:  HYPOTHESIS_PROFILE=stress
+settings.register_profile("default", settings())
+settings.register_profile(
+    "stress", settings(max_examples=200, deadline=None)
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+from repro.gsdb import DatabaseRegistry, ObjectStore, ParentIndex
+from repro.views import ViewCatalog
+from repro.workloads import (
+    person_db,
+    register_person_database,
+    relations_db,
+)
+
+
+@pytest.fixture
+def person_store() -> ObjectStore:
+    """Example 2 exactly as printed (a DAG: P3 has two parents)."""
+    return person_db()
+
+
+@pytest.fixture
+def person_tree_store() -> ObjectStore:
+    """Example 2 restricted to a tree (ROOT → P3 edge dropped)."""
+    return person_db(tree=True)
+
+
+@pytest.fixture
+def person_registry(person_store) -> DatabaseRegistry:
+    registry = DatabaseRegistry(person_store)
+    register_person_database(registry)
+    return registry
+
+
+@pytest.fixture
+def person_catalog() -> ViewCatalog:
+    """A catalog over the tree variant, PERSON database registered."""
+    catalog = ViewCatalog()
+    person_db(catalog.store, tree=True)
+    register_person_database(catalog)
+    return catalog
+
+
+@pytest.fixture
+def person_tree_index(person_tree_store) -> ParentIndex:
+    return ParentIndex(person_tree_store)
+
+
+@pytest.fixture
+def relations_store():
+    """Figure 5's relations database: (store, root_oid)."""
+    return relations_db(relations=2, tuples_per_relation=6, seed=3)

@@ -1,0 +1,95 @@
+"""Tests for database objects and set operations (paper Section 2)."""
+
+import pytest
+
+from repro.errors import TypeMismatchError, UnknownDatabaseError
+from repro.gsdb import DatabaseRegistry, ObjectStore
+from repro.gsdb.database import difference, intersect, union
+
+
+@pytest.fixture
+def registry(person_store) -> DatabaseRegistry:
+    return DatabaseRegistry(person_store)
+
+
+class TestDatabaseRegistry:
+    def test_create_database_object(self, registry, person_store):
+        registry.create_database("PERSON", ["ROOT", "P1"])
+        db = registry.resolve("PERSON")
+        assert db.oid == "PERSON"
+        assert db.label == "database"
+        assert db.children() == {"ROOT", "P1"}
+        assert "PERSON" in person_store
+
+    def test_members_and_contains(self, registry):
+        registry.create_database("D", ["P1", "P2"])
+        assert registry.members("D") == {"P1", "P2"}
+        assert registry.contains("D", "P1")
+        assert not registry.contains("D", "P4")
+
+    def test_unknown_database(self, registry):
+        with pytest.raises(UnknownDatabaseError):
+            registry.resolve("nope")
+
+    def test_register_existing_object(self, registry):
+        registry.register("PROFS", "P1")
+        assert registry.members("PROFS") == {"N1", "A1", "S1", "P3"}
+
+    def test_register_atomic_rejected(self, registry):
+        with pytest.raises(TypeMismatchError):
+            registry.register("BAD", "A1")
+
+    def test_add_remove_member_via_updates(self, registry, person_store):
+        registry.create_database("D", ["P1"])
+        seen = []
+        person_store.subscribe(seen.append)
+        registry.add_member("D", "P2")
+        registry.remove_member("D", "P1")
+        assert registry.members("D") == {"P2"}
+        assert len(seen) == 2  # insert(D, P2), delete(D, P1)
+
+    def test_add_member_idempotent(self, registry):
+        registry.create_database("D", ["P1"])
+        registry.add_member("D", "P1")  # no error, no duplicate-edge crash
+        assert registry.members("D") == {"P1"}
+
+    def test_grouping_oids_and_unregister(self, registry):
+        registry.create_database("D", [])
+        assert registry.grouping_oids() == {"D"}
+        registry.unregister("D")
+        assert registry.names() == set()
+
+
+class TestSetOperations:
+    def test_union_per_paper(self, person_store):
+        s1 = person_store.get("P1")
+        s2 = person_store.get("P2")
+        result = union(person_store, s1, s2)
+        assert result.children() == s1.children() | s2.children()
+        assert result.label == s1.label  # takes the label of S1
+        assert result.oid in person_store  # fresh OID, registered
+
+    def test_intersect(self, person_store):
+        s1 = person_store.get("ROOT")
+        s2 = person_store.get("P1")
+        result = intersect(person_store, s1, s2)
+        assert result.children() == {"P3"}
+
+    def test_difference(self, person_store):
+        s1 = person_store.get("ROOT")
+        s2 = person_store.get("P1")
+        result = difference(person_store, s1, s2)
+        assert result.children() == {"P1", "P2", "P4"}
+
+    def test_explicit_oid(self, person_store):
+        result = union(
+            person_store,
+            person_store.get("P1"),
+            person_store.get("P2"),
+            oid="U1",
+        )
+        assert result.oid == "U1"
+
+    def test_atomic_operand_rejected(self, person_store):
+        with pytest.raises(TypeMismatchError):
+            union(person_store, person_store.get("A1"), person_store.get("P1"))

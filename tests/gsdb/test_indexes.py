@@ -1,0 +1,110 @@
+"""Tests for the parent (inverse) and label indexes (paper Section 4.4)."""
+
+import pytest
+
+from repro.gsdb import LabelIndex, ObjectStore, ParentIndex
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    s = ObjectStore()
+    s.add_atomic("A1", "age", 45)
+    s.add_set("P1", "professor", ["A1"])
+    s.add_set("ROOT", "person", ["P1"])
+    return s
+
+
+class TestParentIndex:
+    def test_existing_edges_indexed(self, store):
+        index = ParentIndex(store)
+        assert index.parent("A1") == "P1"
+        assert index.parent("P1") == "ROOT"
+        assert index.parent("ROOT") is None
+
+    def test_insert_maintains(self, store):
+        index = ParentIndex(store)
+        store.add_atomic("N1", "name", "x")
+        store.insert_edge("P1", "N1")
+        assert index.parent("N1") == "P1"
+
+    def test_delete_maintains(self, store):
+        index = ParentIndex(store)
+        store.delete_edge("P1", "A1")
+        assert index.parent("A1") is None
+
+    def test_new_set_object_indexed_on_creation(self, store):
+        index = ParentIndex(store)
+        store.add_set("P2", "professor", ["A1"])
+        assert index.parents("A1") == {"P1", "P2"}
+
+    def test_multi_parent_raises_in_tree_mode(self, store):
+        index = ParentIndex(store)
+        store.add_set("P2", "professor", ["A1"])
+        with pytest.raises(ValueError):
+            index.parent("A1")
+
+    def test_ignored_parent_excluded(self, store):
+        index = ParentIndex(store)
+        store.add_set("DB", "database", ["A1", "P1", "ROOT"])
+        index.ignore_parent("DB")
+        assert index.parent("A1") == "P1"
+        assert index.parent("ROOT") is None
+
+    def test_ignore_parent_before_creation(self, store):
+        index = ParentIndex(store, ignore_parents={"DB"})
+        store.add_set("DB", "database", ["A1"])
+        assert index.parent("A1") == "P1"
+
+    def test_ignore_view_prefix(self, store):
+        index = ParentIndex(store)
+        store.check_references = False
+        store.add_set("MV", "mview", [])
+        store.add_set("MV.P1", "professor", ["A1"])
+        index.ignore_view("MV")
+        assert index.parent("A1") == "P1"
+
+    def test_ignore_prefix_applies_retroactively(self, store):
+        store.check_references = False
+        store.add_set("MV.P1", "professor", ["A1"])
+        index = ParentIndex(store)
+        assert index.parents("A1") == {"P1", "MV.P1"}
+        index.ignore_prefix("MV.")
+        assert index.parents("A1") == {"P1"}
+
+    def test_roots(self, store):
+        index = ParentIndex(store)
+        assert index.roots() == {"ROOT"}
+
+    def test_has_parent(self, store):
+        index = ParentIndex(store)
+        assert index.has_parent("A1")
+        assert not index.has_parent("ROOT")
+
+    def test_probe_counted(self, store):
+        index = ParentIndex(store)
+        before = store.counters.index_probes
+        index.parent("A1")
+        index.parents("A1")
+        assert store.counters.index_probes == before + 2
+
+
+class TestLabelIndex:
+    def test_existing_labels_indexed(self, store):
+        index = LabelIndex(store)
+        assert index.with_label("professor") == {"P1"}
+        assert index.with_label("age") == {"A1"}
+        assert index.with_label("nothing") == set()
+
+    def test_non_unique_labels(self, store):
+        index = LabelIndex(store)
+        store.add_atomic("A2", "age", 20)
+        assert index.with_label("age") == {"A1", "A2"}
+
+    def test_labels_listing(self, store):
+        index = LabelIndex(store)
+        assert index.labels() == {"age", "professor", "person"}
+
+    def test_forget(self, store):
+        index = LabelIndex(store)
+        index.forget("A1", "age")
+        assert index.with_label("age") == set()

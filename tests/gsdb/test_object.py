@@ -1,0 +1,116 @@
+"""Tests for the OEM object (paper Section 2)."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.gsdb.object import Object, infer_atomic_type
+
+
+class TestTypeInference:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (45, "integer"),
+            (True, "boolean"),
+            (3.14, "real"),
+            ("John", "string"),
+            (b"\x00", "binary"),
+        ],
+    )
+    def test_inferred_tags(self, value, expected):
+        assert infer_atomic_type(value) == expected
+
+    def test_bool_not_integer(self):
+        # bool subclasses int; the tag must still be boolean.
+        assert infer_atomic_type(False) == "boolean"
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            infer_atomic_type(object())
+
+
+class TestAtomicObjects:
+    def test_example_2_age_object(self):
+        obj = Object.atomic("A1", "age", 45)
+        assert (obj.oid, obj.label, obj.type, obj.value) == (
+            "A1", "age", "integer", 45,
+        )
+        assert obj.is_atomic and not obj.is_set
+
+    def test_domain_type_tag(self):
+        # Example 2: <S1, salary, dollar, $100,000>
+        obj = Object.atomic("S1", "salary", 100_000, type="dollar")
+        assert obj.type == "dollar"
+        assert obj.atomic_value() == 100_000
+
+    def test_children_on_atomic_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Object.atomic("A1", "age", 45).children()
+
+    def test_atomic_rejects_set_value(self):
+        with pytest.raises(TypeMismatchError):
+            Object("A1", "age", "integer", {"X"})
+
+    def test_repr_shows_four_fields(self):
+        assert repr(Object.atomic("A1", "age", 45)) == "<A1, age, integer, 45>"
+
+
+class TestSetObjects:
+    def test_value_is_oid_set(self):
+        obj = Object.set_object("P1", "professor", ["N1", "A1", "N1"])
+        assert obj.children() == {"N1", "A1"}
+        assert obj.is_set
+
+    def test_atomic_value_on_set_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Object.set_object("P1", "professor").atomic_value()
+
+    def test_set_value_rejects_bare_string(self):
+        # A string is iterable; exploding it into chars is a bug trap.
+        with pytest.raises(TypeMismatchError):
+            Object("P1", "professor", "set", "N1")
+
+    def test_sorted_children_deterministic(self):
+        obj = Object.set_object("P1", "p", ["Z", "A", "M"])
+        assert obj.sorted_children() == ["A", "M", "Z"]
+        assert list(obj) == ["A", "M", "Z"]
+
+    def test_repr_sorted(self):
+        obj = Object.set_object("P1", "p", ["B", "A"])
+        assert repr(obj) == "<P1, p, set, {A, B}>"
+
+
+class TestCopy:
+    def test_copy_with_new_oid_for_delegates(self):
+        base = Object.set_object("P1", "professor", ["N1"])
+        delegate = base.copy(oid="MVJ.P1")
+        assert delegate.oid == "MVJ.P1"
+        assert delegate.label == "professor"
+        assert delegate.children() == {"N1"}
+
+    def test_copy_is_shallow_independent(self):
+        base = Object.set_object("P1", "p", ["N1"])
+        copy = base.copy()
+        copy.children().add("N2")
+        assert base.children() == {"N1"}
+
+    def test_atomic_copy(self):
+        base = Object.atomic("A1", "age", 45)
+        assert base.copy(oid="V.A1").value == 45
+
+
+class TestEquality:
+    def test_value_equality(self):
+        assert Object.atomic("A1", "age", 45) == Object.atomic("A1", "age", 45)
+
+    def test_label_inequality(self):
+        assert Object.atomic("A1", "age", 45) != Object.atomic("A1", "old", 45)
+
+    def test_hash_by_oid(self):
+        a = Object.atomic("A1", "age", 45)
+        b = Object.atomic("A1", "age", 46)
+        assert hash(a) == hash(b)
+
+    def test_empty_oid_rejected(self):
+        with pytest.raises(ValueError):
+            Object.atomic("", "age", 45)

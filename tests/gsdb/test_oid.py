@@ -1,0 +1,65 @@
+"""Tests for semantic delegate OIDs (paper Section 3.2)."""
+
+import pytest
+
+from repro.gsdb.oid import (
+    OidGenerator,
+    base_of_delegate,
+    delegate_oid,
+    is_delegate_of,
+    split_delegate_oid,
+)
+
+
+class TestDelegateOid:
+    def test_concatenation_matches_paper_figure_3(self):
+        assert delegate_oid("MVJ", "P1") == "MVJ.P1"
+
+    def test_split_round_trip(self):
+        assert split_delegate_oid(delegate_oid("MV", "X7")) == ("MV", "X7")
+
+    def test_views_of_views_nest(self):
+        nested = delegate_oid("MV2", delegate_oid("MVJ", "P1"))
+        assert nested == "MV2.MVJ.P1"
+        view, base = split_delegate_oid(nested)
+        assert view == "MV2"
+        assert base == "MVJ.P1"
+        assert split_delegate_oid(base) == ("MVJ", "P1")
+
+    def test_split_rejects_plain_oid(self):
+        with pytest.raises(ValueError):
+            split_delegate_oid("P1")
+
+    def test_split_rejects_empty_parts(self):
+        with pytest.raises(ValueError):
+            split_delegate_oid(".P1")
+
+    def test_is_delegate_of(self):
+        assert is_delegate_of("MVJ.P1", "MVJ")
+        assert not is_delegate_of("MVJ.P1", "MV")
+        assert not is_delegate_of("MVJ", "MVJ")
+        assert not is_delegate_of("MVJ.", "MVJ")
+
+    def test_base_of_delegate(self):
+        assert base_of_delegate("MVJ.P1", "MVJ") == "P1"
+        assert base_of_delegate("MV2.MVJ.P1", "MV2") == "MVJ.P1"
+
+    def test_base_of_delegate_rejects_foreign(self):
+        with pytest.raises(ValueError):
+            base_of_delegate("OTHER.P1", "MVJ")
+
+
+class TestOidGenerator:
+    def test_sequential_and_prefixed(self):
+        gen = OidGenerator("ans")
+        assert gen.fresh() == "ans1"
+        assert gen.fresh() == "ans2"
+        assert gen.prefix == "ans"
+
+    def test_fresh_many(self):
+        gen = OidGenerator("q")
+        assert list(gen.fresh_many(3)) == ["q1", "q2", "q3"]
+
+    def test_independent_generators(self):
+        first, second = OidGenerator("a"), OidGenerator("a")
+        assert first.fresh() == second.fresh() == "a1"

@@ -1,0 +1,93 @@
+"""Tests for the paper-syntax text serialization."""
+
+import pytest
+
+from repro.gsdb import ObjectStore, dump_object, dump_store, load_store
+from repro.gsdb.serialization import (
+    SerializationError,
+    dump_subtree,
+    parse_object,
+)
+
+
+class TestDump:
+    def test_atomic_object(self, person_store):
+        assert dump_object(person_store.get("A1")) == (
+            "< A1, age, integer, 45 >"
+        )
+
+    def test_string_value_quoted(self, person_store):
+        assert dump_object(person_store.get("N1")) == (
+            "< N1, name, string, 'John' >"
+        )
+
+    def test_set_object_sorted(self, person_store):
+        text = dump_object(person_store.get("P2"))
+        assert text == "< P2, professor, set, {ADD2, N2} >"
+
+    def test_domain_type_preserved(self, person_store):
+        assert "dollar" in dump_object(person_store.get("S1"))
+
+    def test_subtree_indentation(self, person_store):
+        text = dump_subtree(person_store, "P2")
+        lines = text.splitlines()
+        assert lines[0].startswith("< P2")
+        assert lines[1].startswith("    < ")
+
+
+class TestParse:
+    def test_round_trip_atomic(self, person_store):
+        for oid in ("A1", "N1", "S1"):
+            original = person_store.get(oid)
+            assert parse_object(dump_object(original)) == original
+
+    def test_round_trip_set(self, person_store):
+        original = person_store.get("P1")
+        assert parse_object(dump_object(original)) == original
+
+    def test_round_trip_whole_store(self, person_store):
+        text = dump_store(person_store)
+        restored = load_store(text)
+        assert len(restored) == len(person_store)
+        for oid in person_store.oids():
+            assert restored.get(oid) == person_store.get(oid)
+
+    def test_escaped_quote_round_trip(self):
+        s = ObjectStore()
+        s.add_atomic("X", "quote", "it's a test \\ with backslash")
+        assert parse_object(dump_object(s.get("X"))) == s.get("X")
+
+    def test_empty_set(self):
+        obj = parse_object("< S, things, set, {} >")
+        assert obj.children() == set()
+
+    def test_numbers(self):
+        assert parse_object("< X, v, real, 3.5 >").value == 3.5
+        assert parse_object("< X, v, integer, -7 >").value == -7
+
+    def test_booleans(self):
+        assert parse_object("< X, v, boolean, true >").value is True
+
+    def test_comments_and_blanks_skipped(self):
+        store = load_store("# header\n\n< A, age, integer, 1 >\n")
+        assert len(store) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "A, age, integer, 1",  # no brackets
+            "< A, age, integer >",  # 3 fields
+            "< A, age, integer, 'unterminated >",
+            "< A, age, set, N1 >",  # unbraced set
+            "< A, age, weird, notanumber >",
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(SerializationError):
+            parse_object(bad)
+
+    def test_load_into_existing_store_restores_checking(self):
+        store = ObjectStore()
+        load_store("< A, age, integer, 1 >", store)
+        assert store.check_references is True
+        assert store.get("A").value == 1

@@ -1,0 +1,204 @@
+"""Tests for the object store and basic updates (paper Section 4.1)."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateObjectError,
+    InvalidUpdateError,
+    UnknownObjectError,
+)
+from repro.gsdb import Delete, Insert, Modify, ObjectStore
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    s = ObjectStore()
+    s.add_atomic("A1", "age", 45)
+    s.add_set("P1", "professor", ["A1"])
+    s.add_set("ROOT", "person", ["P1"])
+    return s
+
+
+class TestPopulation:
+    def test_add_and_get(self, store):
+        assert store.get("A1").value == 45
+        assert store.label("P1") == "professor"
+        assert store.value("P1") == {"A1"}
+
+    def test_duplicate_oid_rejected(self, store):
+        with pytest.raises(DuplicateObjectError):
+            store.add_atomic("A1", "age", 50)
+
+    def test_unknown_get_raises(self, store):
+        with pytest.raises(UnknownObjectError):
+            store.get("missing")
+        assert store.get_optional("missing") is None
+
+    def test_add_set_checks_references(self, store):
+        with pytest.raises(UnknownObjectError):
+            store.add_set("P2", "professor", ["ghost"])
+
+    def test_reference_checking_can_be_disabled(self):
+        s = ObjectStore(check_references=False)
+        s.add_set("P", "professor", ["ghost"])
+        assert s.get("P").children() == {"ghost"}
+
+    def test_len_contains_oids(self, store):
+        assert len(store) == 3
+        assert "A1" in store and "zzz" not in store
+        assert list(store.oids()) == ["A1", "P1", "ROOT"]
+
+    def test_remove_object(self, store):
+        store.delete_edge("P1", "A1")
+        store.remove_object("A1")
+        assert "A1" not in store
+        with pytest.raises(UnknownObjectError):
+            store.remove_object("A1")
+
+
+class TestInsert:
+    def test_insert_adds_child(self, store):
+        store.add_atomic("N1", "name", "John")
+        store.insert_edge("P1", "N1")
+        assert store.value("P1") == {"A1", "N1"}
+
+    def test_insert_logged(self, store):
+        store.add_atomic("N1", "name", "John")
+        update = store.insert_edge("P1", "N1")
+        assert store.log[-1] == update == Insert("P1", "N1")
+
+    def test_insert_into_atomic_rejected(self, store):
+        with pytest.raises(InvalidUpdateError):
+            store.insert_edge("A1", "P1")
+
+    def test_duplicate_edge_rejected(self, store):
+        with pytest.raises(InvalidUpdateError):
+            store.insert_edge("P1", "A1")
+
+    def test_insert_unknown_child_rejected(self, store):
+        with pytest.raises(InvalidUpdateError):
+            store.insert_edge("P1", "ghost")
+
+    def test_insert_unknown_parent_rejected(self, store):
+        with pytest.raises(InvalidUpdateError):
+            store.insert_edge("ghost", "A1")
+
+
+class TestDelete:
+    def test_delete_removes_child(self, store):
+        store.delete_edge("P1", "A1")
+        assert store.value("P1") == set()
+
+    def test_delete_absent_edge_rejected(self, store):
+        with pytest.raises(InvalidUpdateError):
+            store.delete_edge("ROOT", "A1")
+
+    def test_object_survives_edge_delete(self, store):
+        # The paper defers garbage collection; the object stays.
+        store.delete_edge("P1", "A1")
+        assert "A1" in store
+
+
+class TestModify:
+    def test_modify_changes_value(self, store):
+        update = store.modify_value("A1", 46)
+        assert update == Modify("A1", 45, 46)
+        assert store.get("A1").value == 46
+
+    def test_modify_set_object_rejected(self, store):
+        with pytest.raises(InvalidUpdateError):
+            store.modify_value("P1", 1)
+
+    def test_modify_with_wrong_old_value_rejected(self, store):
+        with pytest.raises(InvalidUpdateError):
+            store.apply(Modify("A1", 99, 50))
+
+    def test_modify_inverse_round_trip(self, store):
+        update = store.modify_value("A1", 50)
+        store.apply(update.inverse())
+        assert store.get("A1").value == 45
+
+
+class TestListeners:
+    def test_listener_sees_applied_updates(self, store):
+        seen = []
+        store.subscribe(seen.append)
+        store.add_atomic("N1", "name", "x")
+        store.insert_edge("P1", "N1")
+        store.modify_value("A1", 1)
+        store.delete_edge("P1", "N1")
+        assert [type(u).__name__ for u in seen] == [
+            "Insert", "Modify", "Delete",
+        ]
+
+    def test_unsubscribe(self, store):
+        seen = []
+        store.subscribe(seen.append)
+        store.unsubscribe(seen.append)
+        store.modify_value("A1", 1)
+        assert seen == []
+
+    def test_creation_listener(self, store):
+        created = []
+        store.subscribe_creations(lambda obj: created.append(obj.oid))
+        store.add_atomic("Z", "z", 1)
+        assert created == ["Z"]
+
+    def test_listener_called_after_application(self, store):
+        values = []
+        store.subscribe(
+            lambda u: values.append(store.get("A1").value)
+        )
+        store.modify_value("A1", 7)
+        assert values == [7]
+
+
+class TestCounters:
+    def test_reads_counted(self, store):
+        before = store.counters.object_reads
+        store.get("A1")
+        store.get_optional("A1")
+        assert store.counters.object_reads == before + 2
+
+    def test_scan_counted(self, store):
+        list(store.scan())
+        assert store.counters.object_scans == 3
+
+    def test_writes_counted(self, store):
+        before = store.counters.object_writes
+        store.modify_value("A1", 7)
+        assert store.counters.object_writes == before + 1
+
+
+class TestBulkHelpers:
+    def test_add_tree(self):
+        s = ObjectStore()
+        root = s.add_tree(
+            ("P1", "professor", [
+                ("N1", "name", "John"),
+                ("A1", "age", 45),
+            ])
+        )
+        assert root == "P1"
+        assert s.value("P1") == {"N1", "A1"}
+        assert s.get("A1").value == 45
+
+    def test_add_tree_with_parent_goes_through_update_path(self):
+        s = ObjectStore()
+        s.add_set("ROOT", "person", [])
+        seen = []
+        s.subscribe(seen.append)
+        s.add_tree(("P1", "professor", [("A1", "age", 45)]), parent="ROOT")
+        assert seen == [Insert("ROOT", "P1")]
+
+    def test_copy_into(self, store):
+        other = ObjectStore(check_references=False)
+        store.copy_into(other, ["P1", "A1"])
+        assert other.get("P1").children() == {"A1"}
+
+    def test_apply_all(self, store):
+        store.add_atomic("N1", "name", "x")
+        count = store.apply_all(
+            [Insert("P1", "N1"), Delete("P1", "N1")]
+        )
+        assert count == 2

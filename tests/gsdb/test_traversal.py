@@ -1,0 +1,252 @@
+"""Tests for N.p, path(), ancestor(), and eval() (paper Sections 2/4.3)."""
+
+import pytest
+
+from repro.gsdb import ObjectStore, ParentIndex
+from repro.gsdb.traversal import (
+    all_paths_between,
+    ancestor_by_path,
+    ancestor_via_root,
+    ancestors_by_path,
+    chain_between,
+    children_of,
+    descendants,
+    eval_path_condition,
+    follow_path,
+    is_reachable,
+    path_between,
+)
+
+
+class TestFollowPath:
+    def test_paper_example_root_professor_age(self, person_store):
+        # A1 in ROOT.professor.age (paper Section 2).
+        assert follow_path(person_store, "ROOT", ["professor", "age"]) == {
+            "A1"
+        }
+
+    def test_empty_path_is_self(self, person_store):
+        assert follow_path(person_store, "P1", []) == {"P1"}
+
+    def test_multi_step_through_student(self, person_store):
+        assert follow_path(
+            person_store, "ROOT", ["professor", "student", "age"]
+        ) == {"A3"}
+
+    def test_missing_label_yields_empty(self, person_store):
+        assert follow_path(person_store, "ROOT", ["dean"]) == set()
+
+    def test_non_unique_labels_fan_out(self, person_store):
+        assert follow_path(person_store, "ROOT", ["professor"]) == {
+            "P1", "P2",
+        }
+
+    def test_atomic_start_with_nonempty_path(self, person_store):
+        assert follow_path(person_store, "A1", ["x"]) == set()
+
+
+class TestEvalPathCondition:
+    def test_paper_eval_example(self, person_store):
+        # eval(P1, age, cond) = {A1} because value(A1) <= 45 (Section 4.3).
+        assert eval_path_condition(
+            person_store, "P1", ["age"], lambda v: v <= 45
+        ) == {"A1"}
+
+    def test_condition_false_for_all(self, person_store):
+        assert (
+            eval_path_condition(
+                person_store, "ROOT", ["professor", "age"], lambda v: v > 99
+            )
+            == set()
+        )
+
+    def test_empty_path_tests_self(self, person_store):
+        assert eval_path_condition(
+            person_store, "A1", [], lambda v: v == 45
+        ) == {"A1"}
+
+    def test_set_objects_never_satisfy(self, person_store):
+        assert (
+            eval_path_condition(
+                person_store, "ROOT", ["professor"], lambda v: True
+            )
+            == set()
+        )
+
+    def test_mixed_type_condition_is_safe(self, person_store):
+        # name values are strings; an integer comparison just fails.
+        def cond(v):
+            return isinstance(v, int) and v > 0
+
+        assert (
+            eval_path_condition(person_store, "P1", ["name"], cond) == set()
+        )
+
+
+class TestDescendantsReachability:
+    def test_descendants_of_professor(self, person_store):
+        assert descendants(person_store, "P1") == {
+            "N1", "A1", "S1", "P3", "N3", "A3", "M3",
+        }
+
+    def test_descendants_excludes_self(self, person_store):
+        assert "P1" not in descendants(person_store, "P1")
+
+    def test_is_reachable(self, person_store):
+        assert is_reachable(person_store, "ROOT", "A3")
+        assert is_reachable(person_store, "P1", "P1")
+        assert not is_reachable(person_store, "P4", "A1")
+
+    def test_cycle_safety(self):
+        s = ObjectStore(check_references=False)
+        s.add_set("a", "x", ["b"])
+        s.add_set("b", "x", ["a"])
+        assert descendants(s, "a") == {"a", "b"} - {"a"} | {"b"}
+        assert is_reachable(s, "a", "b")
+
+
+class TestPathBetween:
+    def test_downward_search(self, person_tree_store):
+        assert path_between(person_tree_store, "ROOT", "A3") == [
+            "professor", "student", "age",
+        ]
+
+    def test_upward_with_index(self, person_tree_store, person_tree_index):
+        assert path_between(
+            person_tree_store, "ROOT", "A3",
+            parent_index=person_tree_index,
+        ) == ["professor", "student", "age"]
+
+    def test_same_node_empty_path(self, person_tree_store):
+        assert path_between(person_tree_store, "P1", "P1") == []
+
+    def test_not_an_ancestor_returns_none(self, person_tree_store):
+        assert path_between(person_tree_store, "P4", "A1") is None
+
+    def test_indexed_and_unindexed_agree(
+        self, person_tree_store, person_tree_index
+    ):
+        for target in ("P1", "N1", "A3", "N4"):
+            assert path_between(
+                person_tree_store, "ROOT", target
+            ) == path_between(
+                person_tree_store, "ROOT", target,
+                parent_index=person_tree_index,
+            )
+
+
+class TestAncestor:
+    def test_paper_example_6(self, person_tree_store, person_tree_index):
+        # ancestor(A1, age) = P1
+        assert ancestor_by_path(
+            person_tree_store, "A1", ["age"], person_tree_index
+        ) == "P1"
+
+    def test_two_level_ancestor(self, person_tree_store, person_tree_index):
+        assert ancestor_by_path(
+            person_tree_store, "A3", ["student", "age"], person_tree_index
+        ) == "P1"
+
+    def test_label_mismatch_returns_none(
+        self, person_tree_store, person_tree_index
+    ):
+        assert (
+            ancestor_by_path(
+                person_tree_store, "A1", ["name"], person_tree_index
+            )
+            is None
+        )
+
+    def test_empty_path_is_self(self, person_tree_store, person_tree_index):
+        assert ancestor_by_path(
+            person_tree_store, "A1", [], person_tree_index
+        ) == "A1"
+
+    def test_via_root_agrees_with_index(
+        self, person_tree_store, person_tree_index
+    ):
+        for oid, path in [
+            ("A1", ["age"]),
+            ("A3", ["student", "age"]),
+            ("N4", ["name"]),
+        ]:
+            assert ancestor_via_root(
+                person_tree_store, "ROOT", oid, path
+            ) == ancestor_by_path(
+                person_tree_store, oid, path, person_tree_index
+            )
+
+    def test_via_root_unreachable(self, person_tree_store):
+        person_tree_store.delete_edge("ROOT", "P1")
+        assert (
+            ancestor_via_root(person_tree_store, "ROOT", "A1", ["age"])
+            is None
+        )
+
+
+class TestDagHelpers:
+    def test_ancestors_by_path_fans_out(self, person_store):
+        index = ParentIndex(person_store)
+        # P3 has parents ROOT and P1; ancestors of A3 along student.age.
+        assert ancestors_by_path(
+            person_store, "A3", ["student", "age"], index
+        ) == {"ROOT", "P1"}
+
+    def test_all_paths_between(self, person_store):
+        paths = all_paths_between(person_store, "ROOT", "A3")
+        assert sorted(paths) == [
+            ["professor", "student", "age"],
+            ["student", "age"],
+        ]
+
+    def test_all_paths_same_node(self, person_store):
+        assert all_paths_between(person_store, "P1", "P1") == [[]]
+
+
+class TestChainBetween:
+    def test_chain_matches_path(self, person_tree_store, person_tree_index):
+        chain = chain_between(
+            person_tree_store, "ROOT", "A3",
+            parent_index=person_tree_index,
+        )
+        assert chain == ["ROOT", "P1", "P3", "A3"]
+
+    def test_chain_downward(self, person_tree_store):
+        assert chain_between(person_tree_store, "ROOT", "A3") == [
+            "ROOT", "P1", "P3", "A3",
+        ]
+
+    def test_chain_self(self, person_tree_store):
+        assert chain_between(person_tree_store, "P1", "P1") == ["P1"]
+
+    def test_chain_unrelated(self, person_tree_store):
+        assert chain_between(person_tree_store, "P4", "A1") is None
+
+
+class TestChildrenOf:
+    def test_children_of_set(self, person_store):
+        assert children_of(person_store, "P2") == {"N2", "ADD2"}
+
+    def test_children_of_atomic_empty(self, person_store):
+        assert children_of(person_store, "A1") == set()
+
+    def test_children_of_missing_empty(self, person_store):
+        assert children_of(person_store, "nope") == set()
+
+
+class TestCostAccounting:
+    def test_traversal_charges_edges(self, person_store):
+        before = person_store.counters.edge_traversals
+        follow_path(person_store, "ROOT", ["professor", "age"])
+        assert person_store.counters.edge_traversals > before
+
+    def test_indexed_path_cheaper_than_downward(self, person_tree_store):
+        index = ParentIndex(person_tree_store)
+        c = person_tree_store.counters
+        before = c.edge_traversals
+        path_between(person_tree_store, "ROOT", "A3", parent_index=index)
+        indexed = c.edge_traversals - before
+        before = c.edge_traversals
+        path_between(person_tree_store, "ROOT", "A3")
+        downward = c.edge_traversals - before
+        assert indexed <= downward

@@ -1,0 +1,46 @@
+"""Tests for update records and the update log."""
+
+from repro.gsdb.updates import Delete, Insert, Modify, UpdateLog
+
+
+class TestUpdateRecords:
+    def test_directly_affected(self):
+        assert Insert("P2", "A2").directly_affected == ("P2", "A2")
+        assert Delete("ROOT", "P1").directly_affected == ("ROOT", "P1")
+        assert Modify("A1", 45, 46).directly_affected == ("A1",)
+
+    def test_inverses(self):
+        assert Insert("a", "b").inverse() == Delete("a", "b")
+        assert Delete("a", "b").inverse() == Insert("a", "b")
+        assert Modify("x", 1, 2).inverse() == Modify("x", 2, 1)
+
+    def test_str_matches_paper_notation(self):
+        assert str(Insert("P2", "A2")) == "insert(P2, A2)"
+        assert str(Delete("ROOT", "P1")) == "delete(ROOT, P1)"
+        assert str(Modify("A1", 45, 46)) == "modify(A1, 45, 46)"
+
+    def test_records_hashable_and_frozen(self):
+        assert len({Insert("a", "b"), Insert("a", "b")}) == 1
+
+
+class TestUpdateLog:
+    def test_append_iterate_index(self):
+        log = UpdateLog()
+        updates = [Insert("a", "b"), Modify("x", 1, 2)]
+        log.extend(updates)
+        assert list(log) == updates
+        assert log[0] == updates[0]
+        assert len(log) == 2
+
+    def test_since(self):
+        log = UpdateLog()
+        log.append(Insert("a", "b"))
+        log.append(Delete("a", "b"))
+        assert log.since(1) == [Delete("a", "b")]
+        assert log.since(2) == []
+
+    def test_clear(self):
+        log = UpdateLog()
+        log.append(Insert("a", "b"))
+        log.clear()
+        assert len(log) == 0

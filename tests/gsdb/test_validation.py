@@ -1,0 +1,83 @@
+"""Tests for structural validation (tree/DAG/cycle classification)."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.gsdb import ObjectStore, Shape, validate_store
+from repro.gsdb.validation import assert_tree_below
+
+
+class TestValidateStore:
+    def test_person_tree_is_tree(self, person_tree_store):
+        report = validate_store(person_tree_store)
+        assert report.ok
+        assert report.shape is Shape.TREE
+        assert report.roots == {"ROOT"}
+
+    def test_paper_person_db_is_dag(self, person_store):
+        # Example 2 as printed: P3 under both ROOT and P1.
+        report = validate_store(person_store)
+        assert report.shape is Shape.DAG
+        assert "P3" in report.multi_parent
+
+    def test_forest(self):
+        s = ObjectStore()
+        s.add_set("r1", "a", [])
+        s.add_set("r2", "a", [])
+        assert validate_store(s).shape is Shape.FOREST
+
+    def test_cycle_detected(self):
+        s = ObjectStore(check_references=False)
+        s.add_set("a", "x", ["b"])
+        s.add_set("b", "x", ["a"])
+        assert validate_store(s).shape is Shape.CYCLIC
+
+    def test_self_loop_detected(self):
+        s = ObjectStore(check_references=False)
+        s.add_set("a", "x", ["a"])
+        assert validate_store(s).shape is Shape.CYCLIC
+
+    def test_dangling_reference_reported(self):
+        s = ObjectStore(check_references=False)
+        s.add_set("a", "x", ["ghost"])
+        report = validate_store(s)
+        assert not report.ok
+        assert report.dangling == {"a": {"ghost"}}
+        with pytest.raises(IntegrityError):
+            report.raise_on_dangling()
+
+    def test_grouping_objects_ignored(self, person_tree_store):
+        s = person_tree_store
+        s.add_set("DB", "database", ["ROOT", "P1", "A1"])
+        report = validate_store(s, ignore=["DB"])
+        assert report.shape is Shape.TREE
+
+    def test_database_object_makes_it_dag_if_not_ignored(
+        self, person_tree_store
+    ):
+        s = person_tree_store
+        s.add_set("DB", "database", ["ROOT", "P1", "A1"])
+        assert validate_store(s).shape is Shape.DAG
+
+
+class TestAssertTreeBelow:
+    def test_tree_passes(self, person_tree_store):
+        assert_tree_below(person_tree_store, "ROOT")
+
+    def test_shared_child_fails(self, person_store):
+        with pytest.raises(IntegrityError):
+            assert_tree_below(person_store, "ROOT")
+
+    def test_cycle_fails(self):
+        s = ObjectStore(check_references=False)
+        s.add_set("a", "x", ["b"])
+        s.add_set("b", "x", ["c"])
+        s.add_set("c", "x", ["a"])
+        with pytest.raises(IntegrityError):
+            assert_tree_below(s, "a")
+
+    def test_ignored_grouping_edges(self, person_tree_store):
+        s = person_tree_store
+        s.add_set("DB", "database", ["P1", "A1"])
+        s.insert_edge("ROOT", "DB")
+        assert_tree_below(s, "ROOT", ignore=["DB"])

@@ -1,0 +1,67 @@
+"""Tests for cost counters."""
+
+from repro.instrumentation import CostCounters
+
+
+class TestCounters:
+    def test_snapshot_delta(self):
+        c = CostCounters()
+        c.object_reads = 5
+        snap = c.snapshot()
+        c.object_reads += 3
+        c.source_queries += 2
+        delta = c.delta_since(snap)
+        assert delta.object_reads == 3
+        assert delta.source_queries == 2
+        assert delta.object_writes == 0
+
+    def test_snapshot_independent(self):
+        c = CostCounters()
+        snap = c.snapshot()
+        c.object_reads = 10
+        assert snap.object_reads == 0
+
+    def test_add(self):
+        a, b = CostCounters(), CostCounters()
+        a.object_reads = 1
+        b.object_reads = 2
+        b.bytes_sent = 7
+        a.add(b)
+        assert a.object_reads == 3
+        assert a.bytes_sent == 7
+
+    def test_notes(self):
+        c = CostCounters()
+        c.note("special")
+        c.note("special", 4)
+        assert c.notes == {"special": 5}
+        snap = c.snapshot()
+        c.note("special")
+        assert c.delta_since(snap).notes == {"special": 1}
+
+    def test_reset(self):
+        c = CostCounters()
+        c.object_reads = 3
+        c.note("x")
+        c.reset()
+        assert c.object_reads == 0
+        assert c.notes == {}
+
+    def test_total_base_accesses(self):
+        c = CostCounters()
+        c.object_reads = 1
+        c.object_scans = 2
+        c.edge_traversals = 3
+        c.index_probes = 100  # not base access
+        assert c.total_base_accesses() == 6
+
+    def test_as_dict_skips_zeros(self):
+        c = CostCounters()
+        c.object_reads = 2
+        c.note("zero_note", 0)
+        assert c.as_dict() == {"object_reads": 2}
+
+    def test_repr(self):
+        c = CostCounters()
+        c.object_reads = 2
+        assert "object_reads=2" in repr(c)

@@ -1,0 +1,56 @@
+"""Tests for metering contexts."""
+
+import pytest
+
+from repro.instrumentation import CostCounters, Meter, MeterSeries
+
+
+class TestMeter:
+    def test_captures_delta_and_time(self):
+        c = CostCounters()
+        with Meter(c) as meter:
+            c.object_reads += 4
+        assert meter.delta.object_reads == 4
+        assert meter.elapsed >= 0
+
+    def test_multiple_counters_summed(self):
+        a, b = CostCounters(), CostCounters()
+        with Meter(a, b) as meter:
+            a.object_reads += 1
+            b.object_reads += 2
+        assert meter.delta.object_reads == 3
+
+    def test_needs_at_least_one(self):
+        with pytest.raises(ValueError):
+            Meter()
+
+    def test_exception_still_measures(self):
+        c = CostCounters()
+        meter = Meter(c)
+        with pytest.raises(RuntimeError):
+            with meter:
+                c.object_reads += 1
+                raise RuntimeError("boom")
+        assert meter.delta.object_reads == 1
+
+
+class TestMeterSeries:
+    def test_accumulates(self):
+        c = CostCounters()
+        series = MeterSeries("test")
+        for reads in (1, 2, 3):
+            with series.measure(c):
+                c.object_reads += reads
+        assert series.operations == 3
+        assert series.total("object_reads") == 6
+        assert series.mean("object_reads") == 2.0
+        assert series.total_base_accesses() == 6
+        assert series.mean_base_accesses() == 2.0
+        assert series.total_time() >= 0
+        assert series.mean_time() >= 0
+
+    def test_empty_series(self):
+        series = MeterSeries("empty")
+        assert series.mean("object_reads") == 0.0
+        assert series.mean_time() == 0.0
+        assert series.mean_base_accesses() == 0.0

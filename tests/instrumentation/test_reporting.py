@@ -1,0 +1,48 @@
+"""Tests for report-table rendering."""
+
+from repro.instrumentation import format_cell, ratio, render_table
+
+
+class TestFormatCell:
+    def test_booleans(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_ints_grouped(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_floats(self):
+        assert format_cell(0.12345) == "0.123"
+        assert format_cell(1234567.0) == "1,234,567"
+
+    def test_strings(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        text = render_table(
+            "E2: incremental vs recompute",
+            ["view size", "incr", "recompute"],
+            [[10, 3, 100], [1000, 3, 10000]],
+            note="counts are base accesses",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "E2: incremental vs recompute"
+        assert set(lines[1]) == {"="}
+        assert "view size" in lines[2]
+        assert "1,000" in text
+        assert lines[-1].startswith("note:")
+
+    def test_empty_rows(self):
+        text = render_table("T", ["a"], [])
+        assert "a" in text
+
+
+class TestRatio:
+    def test_plain(self):
+        assert ratio(10, 2) == 5
+
+    def test_zero_denominator(self):
+        assert ratio(5, 0) == float("inf")
+        assert ratio(0, 0) == 1.0

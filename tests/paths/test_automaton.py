@@ -1,0 +1,101 @@
+"""Tests for NFA compilation and graph evaluation of expressions."""
+
+from repro.gsdb import ObjectStore
+from repro.paths import PathExpression, compile_expression, evaluate_expression
+
+
+class TestNfaAcceptance:
+    def test_initial_accepting_for_star(self):
+        nfa = compile_expression(PathExpression.parse("*"))
+        assert nfa.is_accepting(nfa.initial())
+
+    def test_step_and_dead_state(self):
+        nfa = compile_expression(PathExpression.parse("a.b"))
+        states = nfa.initial()
+        states = nfa.step(states, "a")
+        assert not nfa.is_accepting(states)
+        assert nfa.is_accepting(nfa.step(states, "b"))
+        assert nfa.is_dead(nfa.step(states, "z"))
+
+    def test_residual(self):
+        nfa = compile_expression(PathExpression.parse("a.b.c"))
+        states = nfa.residual(["a", "b"])
+        assert nfa.is_accepting(nfa.step(states, "c"))
+
+    def test_compilation_cached(self):
+        e = PathExpression.parse("a.*")
+        assert compile_expression(e) is compile_expression(e)
+
+
+class TestGraphEvaluation:
+    def test_paper_view_vj(self, person_store):
+        # ROOT.* reaches every descendant (and ROOT itself).
+        result = evaluate_expression(
+            person_store, "ROOT", PathExpression.parse("*")
+        )
+        assert "ROOT" in result
+        assert {"P1", "P2", "P3", "P4", "N1", "A3"} <= result
+
+    def test_paper_view_prof(self, person_store):
+        # Expression 3.4: SELECT ROOT.*.professor
+        result = evaluate_expression(
+            person_store, "ROOT", PathExpression.parse("*.professor")
+        )
+        assert result == {"P1", "P2"}
+
+    def test_paper_view_student_under_prof(self, person_store):
+        result = evaluate_expression(
+            person_store, "ROOT", PathExpression.parse("*.professor.*.student")
+        )
+        assert result == {"P3"}
+
+    def test_question_mark_children(self, person_store):
+        result = evaluate_expression(
+            person_store, "P2", PathExpression.parse("?")
+        )
+        assert result == {"N2", "ADD2"}
+
+    def test_constant_path(self, person_store):
+        result = evaluate_expression(
+            person_store, "ROOT", PathExpression.parse("professor.age")
+        )
+        assert result == {"A1"}
+
+    def test_cyclic_graph_terminates(self):
+        s = ObjectStore(check_references=False)
+        s.add_set("a", "x", ["b"])
+        s.add_set("b", "x", ["a", "c"])
+        s.add_atomic("c", "leaf", 1)
+        result = evaluate_expression(s, "a", PathExpression.parse("*.leaf"))
+        assert result == {"c"}
+
+    def test_from_states_residual_evaluation(self, person_store):
+        # Continue matching professor.age after consuming "professor".
+        e = PathExpression.parse("professor.age")
+        nfa = compile_expression(e)
+        states = nfa.residual(["professor"])
+        result = nfa.evaluate(person_store, "P1", from_states=states)
+        assert result == {"A1"}
+
+    def test_empty_from_states(self, person_store):
+        nfa = compile_expression(PathExpression.parse("a"))
+        assert nfa.evaluate(person_store, "ROOT", from_states=frozenset()) == set()
+
+
+class TestEvaluateWithPaths:
+    def test_paths_reported(self, person_store):
+        nfa = compile_expression(PathExpression.parse("*.age"))
+        result = nfa.evaluate_with_paths(person_store, "ROOT")
+        assert ("professor", "age") in result["A1"]
+        # A3 is reachable two ways in the DAG variant of Example 2.
+        assert sorted(result["A3"]) == [
+            ("professor", "student", "age"),
+            ("student", "age"),
+        ]
+
+    def test_agrees_with_evaluate(self, person_store):
+        for text in ("*", "*.name", "professor.?", "*.professor.*"):
+            nfa = compile_expression(PathExpression.parse(text))
+            assert set(nfa.evaluate_with_paths(person_store, "ROOT")) == (
+                nfa.evaluate(person_store, "ROOT")
+            )

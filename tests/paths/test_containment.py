@@ -1,0 +1,111 @@
+"""Tests for path-expression containment (paper Section 6)."""
+
+import pytest
+
+from repro.paths import (
+    PathExpression,
+    are_equivalent,
+    containment_counterexample,
+    intersection_witness,
+    is_contained,
+    is_empty_intersection,
+    shortest_instance,
+)
+
+e = PathExpression.parse
+
+
+class TestContainment:
+    @pytest.mark.parametrize(
+        "inner, outer",
+        [
+            ("professor.age", "*"),  # "any path p is contained in *"
+            ("professor.age", "professor.*"),
+            ("professor.age", "professor.?"),
+            ("a.?", "a.*"),
+            ("a.b.c", "a.*.c"),
+            ("a|b.c", "*.c"),
+            ("", "*"),
+            ("a.*.b", "*"),
+            ("a.*.b", "a.*"),
+        ],
+    )
+    def test_contained(self, inner, outer):
+        assert is_contained(e(inner), e(outer))
+
+    @pytest.mark.parametrize(
+        "inner, outer",
+        [
+            ("*", "professor.age"),
+            ("professor.*", "professor.age"),
+            ("a.*", "a.?"),  # * matches empty, ? does not
+            ("a.?", "a.b"),
+            ("*.c", "a|b.c"),
+            ("a", ""),
+            ("a.*", "a.*.b"),
+        ],
+    )
+    def test_not_contained(self, inner, outer):
+        assert not is_contained(e(inner), e(outer))
+
+    def test_counterexample_is_instance_of_inner_only(self):
+        witness = containment_counterexample(e("professor.*"), e("professor.age"))
+        assert witness is not None
+        assert e("professor.*").matches(witness)
+        assert not e("professor.age").matches(witness)
+
+    def test_counterexample_none_when_contained(self):
+        assert containment_counterexample(e("a.b"), e("a.*")) is None
+
+    def test_counterexample_avoids_outer_label(self):
+        # a.? ⊄ a.b: the witness's second label must differ from b.
+        witness = containment_counterexample(e("a.?"), e("a.b"))
+        assert witness is not None
+        assert len(witness) == 2
+        assert witness[0] == "a"
+        assert witness[1] != "b"
+
+
+class TestEquivalence:
+    def test_reflexive(self):
+        assert are_equivalent(e("a.*.b"), e("a.*.b"))
+
+    def test_star_star_collapse(self):
+        assert are_equivalent(e("a.*.*"), e("a.*"))
+
+    def test_star_question_order(self):
+        assert are_equivalent(e("a.*.?"), e("a.?.*"))
+
+    def test_not_equivalent(self):
+        assert not are_equivalent(e("a.*"), e("a.?"))
+
+
+class TestIntersection:
+    def test_disjoint_constants(self):
+        assert is_empty_intersection(e("a.b"), e("a.c"))
+
+    def test_overlapping_wildcards(self):
+        assert not is_empty_intersection(e("a.*"), e("*.b"))
+        witness = intersection_witness(e("a.*"), e("*.b"))
+        assert e("a.*").matches(witness)
+        assert e("*.b").matches(witness)
+
+    def test_length_disjoint(self):
+        assert is_empty_intersection(e("a"), e("a.b"))
+
+    def test_same_expression(self):
+        assert intersection_witness(e("x.y"), e("x.y")) == ["x", "y"]
+
+
+class TestShortestInstance:
+    def test_constant(self):
+        assert shortest_instance(e("a.b")) == ["a", "b"]
+
+    def test_star_empty(self):
+        assert shortest_instance(e("*")) == []
+
+    def test_question_uses_fresh(self):
+        assert shortest_instance(e("?")) == ["fresh_label"]
+
+    def test_mixed(self):
+        assert shortest_instance(e("a.*.b")) == ["a", "b"]

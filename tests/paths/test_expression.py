@@ -1,0 +1,119 @@
+"""Tests for path expressions (paper Section 2)."""
+
+import pytest
+
+from repro.errors import PathSyntaxError
+from repro.paths import Path, PathExpression
+from repro.paths.expression import (
+    AnyLabelSegment,
+    AnyPathSegment,
+    LabelSegment,
+)
+
+
+class TestParsing:
+    def test_constant_expression(self):
+        e = PathExpression.parse("professor.age")
+        assert e.is_constant
+        assert e.as_path() == Path.parse("professor.age")
+
+    def test_star(self):
+        e = PathExpression.parse("*")
+        assert isinstance(e.segments[0], AnyPathSegment)
+        assert not e.is_constant
+        assert e.has_star
+
+    def test_question_mark(self):
+        e = PathExpression.parse("professor.?")
+        assert isinstance(e.segments[1], AnyLabelSegment)
+        assert not e.has_star
+
+    def test_alternation(self):
+        e = PathExpression.parse("professor|student.age")
+        seg = e.segments[0]
+        assert isinstance(seg, LabelSegment)
+        assert seg.labels == frozenset({"professor", "student"})
+        assert not e.is_constant
+
+    def test_empty_expression(self):
+        e = PathExpression.parse("")
+        assert len(e) == 0
+        assert e.matches(Path.parse(""))
+
+    @pytest.mark.parametrize("bad", ["a..b", "a.|b", "a.*|b"])
+    def test_malformed(self, bad):
+        with pytest.raises(PathSyntaxError):
+            PathExpression.parse(bad)
+
+    def test_as_path_on_wildcard_raises(self):
+        with pytest.raises(ValueError):
+            PathExpression.parse("a.*").as_path()
+
+    def test_round_trip_str(self):
+        for text in ("professor.age", "*", "professor.?", "a|b.c"):
+            assert str(PathExpression.parse(text)) == text
+
+
+class TestInstanceMatching:
+    """The paper: p is an instance of e if the wild cards in e can be
+    substituted by paths to obtain p."""
+
+    @pytest.mark.parametrize(
+        "expr, path, expected",
+        [
+            ("*", "", True),  # a path is zero or more labels
+            ("*", "a.b.c", True),
+            ("professor.*", "professor", True),
+            ("professor.*", "professor.student.age", True),
+            ("professor.*", "student", False),
+            ("professor.?", "professor.age", True),
+            ("professor.?", "professor", False),  # ? is exactly one
+            ("professor.?", "professor.a.b", False),
+            ("*.age", "age", True),
+            ("*.age", "professor.age", True),
+            ("*.age", "professor.name", False),
+            ("a.*.b", "a.b", True),
+            ("a.*.b", "a.x.y.b", True),
+            ("a.*.b", "a.x.y", False),
+            ("a|b.c", "a.c", True),
+            ("a|b.c", "b.c", True),
+            ("a|b.c", "d.c", False),
+            ("", "", True),
+            ("", "a", False),
+        ],
+    )
+    def test_matches(self, expr, path, expected):
+        assert PathExpression.parse(expr).matches(Path.parse(path)) is expected
+
+    def test_constant_expression_matches_itself_only(self):
+        e = PathExpression.parse("a.b")
+        assert e.matches(Path.parse("a.b"))
+        assert not e.matches(Path.parse("a"))
+        assert not e.matches(Path.parse("a.b.c"))
+
+
+class TestProperties:
+    def test_min_length(self):
+        assert PathExpression.parse("a.*.b").min_length == 2
+        assert PathExpression.parse("*").min_length == 0
+        assert PathExpression.parse("a.?").min_length == 2
+
+    def test_mentioned_labels(self):
+        e = PathExpression.parse("a|b.*.c")
+        assert e.mentioned_labels() == frozenset({"a", "b", "c"})
+
+    def test_concat(self):
+        sel = PathExpression.parse("professor.*")
+        cond = PathExpression.parse("age")
+        assert str(sel.concat(cond)) == "professor.*.age"
+
+    def test_from_path(self):
+        e = PathExpression.from_path(Path.parse("a.b"))
+        assert e.is_constant
+        assert e.matches(Path.parse("a.b"))
+
+    def test_hashable(self):
+        assert len({
+            PathExpression.parse("a.*"),
+            PathExpression.parse("a.*"),
+        }) == 1

@@ -1,0 +1,83 @@
+"""Tests for constant paths (paper Section 2)."""
+
+import pytest
+
+from repro.errors import PathSyntaxError
+from repro.paths import EMPTY_PATH, Path
+
+
+class TestConstruction:
+    def test_parse_dotted(self):
+        p = Path.parse("professor.student")
+        assert list(p) == ["professor", "student"]
+        assert str(p) == "professor.student"
+
+    def test_empty_string_is_empty_path(self):
+        assert Path.parse("") == EMPTY_PATH
+        assert len(Path.parse("  ")) == 0
+        assert not EMPTY_PATH
+
+    def test_single_label(self):
+        assert list(Path.parse("age")) == ["age"]
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(PathSyntaxError):
+            Path(["has.dot"])
+        with pytest.raises(PathSyntaxError):
+            Path([""])
+
+
+class TestAlgebra:
+    def test_concatenation(self):
+        sel = Path.parse("professor")
+        cond = Path.parse("age")
+        assert str(sel + cond) == "professor.age"
+
+    def test_concat_with_sequence(self):
+        assert str(Path.parse("a") + ["b", "c"]) == "a.b.c"
+
+    def test_startswith_endswith(self):
+        p = Path.parse("r.tuple.age")
+        assert p.startswith(Path.parse("r"))
+        assert p.startswith(Path.parse("r.tuple"))
+        assert not p.startswith(Path.parse("tuple"))
+        assert p.endswith(Path.parse("age"))
+        assert p.endswith(Path.parse("tuple.age"))
+        assert not p.endswith(Path.parse("r"))
+
+    def test_empty_prefix_suffix(self):
+        p = Path.parse("a.b")
+        assert p.startswith(EMPTY_PATH)
+        assert p.endswith(EMPTY_PATH)
+
+    def test_strip_prefix(self):
+        # Algorithm 1: sel.cond = path(ROOT,N1).label(N2).p
+        full = Path.parse("r.tuple.age")
+        assert full.strip_prefix(Path.parse("r.tuple")) == Path.parse("age")
+        assert full.strip_prefix(Path.parse("r.tuple.age")) == EMPTY_PATH
+        assert full.strip_prefix(Path.parse("s")) is None
+        assert full.strip_prefix(Path.parse("r.tuple.age.x")) is None
+
+    def test_strip_suffix(self):
+        full = Path.parse("r.tuple.age")
+        assert full.strip_suffix(Path.parse("age")) == Path.parse("r.tuple")
+        assert full.strip_suffix(EMPTY_PATH) == full
+        assert full.strip_suffix(Path.parse("tuple")) is None
+
+    def test_slicing(self):
+        p = Path.parse("a.b.c")
+        assert p[1] == "b"
+        assert p[:2] == Path.parse("a.b")
+        assert isinstance(p[:2], Path)
+
+
+class TestEqualityHash:
+    def test_equality_with_tuples(self):
+        assert Path.parse("a.b") == ("a", "b")
+        assert Path.parse("a.b") == ["a", "b"]
+
+    def test_hashable(self):
+        assert len({Path.parse("a.b"), Path(("a", "b"))}) == 1
+
+    def test_repr(self):
+        assert repr(Path.parse("a.b")) == "Path('a.b')"

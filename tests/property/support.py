@@ -1,0 +1,25 @@
+"""Shared hypothesis settings for the property suites.
+
+``REPRO_PROPERTY_EXAMPLES`` scales the per-test example budget, e.g.::
+
+    REPRO_PROPERTY_EXAMPLES=200 pytest tests/property/
+
+for a deep soak run (the default keeps the suite fast).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck
+
+_SCALE = int(os.environ.get("REPRO_PROPERTY_EXAMPLES", "0"))
+
+
+def common_settings(default_examples: int) -> dict:
+    """Per-test settings dict honouring the env override."""
+    return dict(
+        deadline=None,
+        max_examples=_SCALE or default_examples,
+        suppress_health_check=[HealthCheck.too_slow],
+    )

@@ -1,0 +1,137 @@
+"""Algebraic laws of the query language and serialization round trips.
+
+* ``WITHIN`` can only shrink results; scoping with the full database is
+  the identity (the paper's Section 2 example).
+* ``ANS INT DB`` equals the unscoped answer intersected with
+  ``value(DB)`` — by definition, checked observationally.
+* Serialization round-trips arbitrary stores exactly.
+* Set operations on objects behave like their set-theoretic models.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.property.support import common_settings
+
+from repro.gsdb import DatabaseRegistry, ObjectStore, load_store
+from repro.gsdb.database import difference, intersect, union
+from repro.gsdb.serialization import dump_store
+from repro.query import QueryEvaluator, parse_query
+from repro.workloads import random_labelled_tree
+
+COMMON = common_settings(30)
+
+QUERIES = (
+    "SELECT root0.a X",
+    "SELECT root0.* X WHERE X.b > 50",
+    "SELECT root0.?.? X",
+    "SELECT root0.a|b X WHERE X.c < 70",
+)
+
+
+def build(seed: int, nodes: int = 25):
+    store, root = random_labelled_tree(
+        nodes=nodes, labels=("a", "b", "c"), seed=seed
+    )
+    registry = DatabaseRegistry(store)
+    all_oids = list(store.oids())
+    registry.create_database("ALL", all_oids)
+    rng = random.Random(seed + 7)
+    subset = [oid for oid in all_oids if rng.random() < 0.7]
+    registry.create_database("SOME", subset)
+    return store, registry, QueryEvaluator(registry)
+
+
+class TestScopingLaws:
+    @given(
+        seed=st.integers(0, 10_000),
+        query_index=st.integers(0, len(QUERIES) - 1),
+    )
+    @settings(**COMMON)
+    def test_within_shrinks(self, seed, query_index):
+        store, registry, evaluator = build(seed)
+        free = evaluator.evaluate_oids(QUERIES[query_index])
+        scoped = evaluator.evaluate_oids(
+            QUERIES[query_index] + " WITHIN SOME"
+        )
+        assert scoped <= free
+
+    @given(
+        seed=st.integers(0, 10_000),
+        query_index=st.integers(0, len(QUERIES) - 1),
+    )
+    @settings(**COMMON)
+    def test_within_full_database_is_identity(self, seed, query_index):
+        store, registry, evaluator = build(seed)
+        free = evaluator.evaluate_oids(QUERIES[query_index])
+        scoped = evaluator.evaluate_oids(
+            QUERIES[query_index] + " WITHIN ALL"
+        )
+        assert scoped == free
+
+    @given(
+        seed=st.integers(0, 10_000),
+        query_index=st.integers(0, len(QUERIES) - 1),
+    )
+    @settings(**COMMON)
+    def test_ans_int_is_intersection(self, seed, query_index):
+        store, registry, evaluator = build(seed)
+        free = evaluator.evaluate_oids(QUERIES[query_index])
+        restricted = evaluator.evaluate_oids(
+            QUERIES[query_index] + " ANS INT SOME"
+        )
+        assert restricted == free & registry.members("SOME")
+
+    @given(
+        seed=st.integers(0, 10_000),
+        query_index=st.integers(0, len(QUERIES) - 1),
+    )
+    @settings(**COMMON)
+    def test_evaluation_is_deterministic(self, seed, query_index):
+        store, registry, evaluator = build(seed)
+        query = parse_query(QUERIES[query_index])
+        assert evaluator.evaluate_oids(query) == evaluator.evaluate_oids(
+            query
+        )
+
+
+class TestSerializationRoundTrip:
+    @given(seed=st.integers(0, 10_000), nodes=st.integers(1, 50))
+    @settings(**COMMON)
+    def test_dump_load_identity(self, seed, nodes):
+        store, _ = random_labelled_tree(
+            nodes=nodes, labels=("a", "b"), seed=seed
+        )
+        restored = load_store(dump_store(store))
+        assert sorted(restored.oids()) == sorted(store.oids())
+        for oid in store.oids():
+            assert restored.get(oid) == store.get(oid)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(**COMMON)
+    def test_double_round_trip_stable(self, seed):
+        store, _ = random_labelled_tree(nodes=20, labels=("a",), seed=seed)
+        once = dump_store(load_store(dump_store(store)))
+        assert once == dump_store(store)
+
+
+class TestSetOperationLaws:
+    @given(seed=st.integers(0, 10_000))
+    @settings(**COMMON)
+    def test_union_intersect_difference_model(self, seed):
+        rng = random.Random(seed)
+        store = ObjectStore()
+        oids = [f"x{i}" for i in range(10)]
+        for oid in oids:
+            store.add_atomic(oid, "v", 0)
+        a = store.add_set("A", "s", rng.sample(oids, rng.randint(0, 10)))
+        b = store.add_set("B", "s", rng.sample(oids, rng.randint(0, 10)))
+        assert union(store, a, b).children() == a.children() | b.children()
+        assert intersect(store, a, b).children() == (
+            a.children() & b.children()
+        )
+        assert difference(store, a, b).children() == (
+            a.children() - b.children()
+        )

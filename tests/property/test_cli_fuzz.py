@@ -1,0 +1,52 @@
+"""Fuzzing the interactive shell: arbitrary input must never crash it."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.property.support import common_settings
+
+from repro.cli import Shell
+
+COMMON = common_settings(50)
+
+# A mix of valid-ish command shapes and raw garbage.
+command_word = st.sampled_from(
+    [
+        "load", "dump", "db", "insert", "delete", "modify", "new",
+        "newset", "views", "members", "check", "counters", "help",
+        "select", "define", "frobnicate",
+    ]
+)
+argument = st.text(
+    alphabet=st.characters(
+        codec="ascii", exclude_categories=("Cc",)
+    ),
+    max_size=12,
+)
+command_line = st.builds(
+    lambda word, args: " ".join([word, *args]),
+    command_word,
+    st.lists(argument, max_size=3),
+)
+garbage_line = st.text(max_size=40)
+any_line = st.one_of(command_line, garbage_line)
+
+
+class TestShellNeverCrashes:
+    @given(lines=st.lists(any_line, max_size=8))
+    @settings(**COMMON)
+    def test_arbitrary_sessions_survive(self, lines):
+        out = io.StringIO()
+        shell = Shell(stdout=out)
+        # execute() may end the session (quit) but must never raise.
+        for line in lines:
+            if not shell.execute(line):
+                break
+
+    @given(line=garbage_line)
+    @settings(**COMMON)
+    def test_single_garbage_line(self, line):
+        out = io.StringIO()
+        Shell(stdout=out).execute(line)

@@ -1,0 +1,189 @@
+"""Property-based tests for the Section 6 open-issue extensions.
+
+* Aggregate views track a from-scratch recomputation under random
+  update streams.
+* Partial views keep every fragment copy exactly equal to base state.
+* Multi-path views equal the union of their branches' truths.
+* The bulk screen is sound: a screened (declared-irrelevant) bulk never
+  changes the view it was screened for.
+"""
+
+import random
+
+from hypothesis import given, settings
+
+from tests.property.support import common_settings
+from hypothesis import strategies as st
+
+from repro.gsdb import ObjectStore, ParentIndex
+from repro.paths import PathExpression
+from repro.query.ast import Comparison
+from repro.views import (
+    AggregateKind,
+    AggregateView,
+    MaterializedView,
+    MultiPathView,
+    PartialMaterializedView,
+    SimpleViewMaintainer,
+    ViewDefinition,
+    compute_view_members,
+    populate_view,
+)
+from repro.warehouse import BulkUpdate, bulk_is_relevant, execute_bulk
+from repro.workloads import UpdateStream, random_labelled_tree
+
+COMMON = common_settings(20)
+
+DEF = "define mview V as: SELECT root0.a X WHERE X.b > 50"
+
+
+def run_stream(store, root, seed, steps):
+    UpdateStream(
+        store,
+        seed=seed,
+        protected=frozenset({root}),
+        protected_prefixes=("V", "AGG"),
+        labels_for_new=("a", "b", "c"),
+    ).run(steps)
+
+
+class TestAggregateProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        steps=st.integers(1, 20),
+        kind=st.sampled_from(list(AggregateKind)),
+    )
+    @settings(**COMMON)
+    def test_aggregate_tracks_recomputation(self, seed, steps, kind):
+        store, root = random_labelled_tree(
+            nodes=25, labels=("a", "b", "c"), seed=seed
+        )
+        index = ParentIndex(store)
+        view = MaterializedView(ViewDefinition.parse(DEF), store)
+        populate_view(view)
+        SimpleViewMaintainer(view, parent_index=index, subscribe=True)
+        aggregate = AggregateView("AGG", view, kind, subscribe=True)
+        run_stream(store, root, seed + 1, steps)
+        maintained = aggregate.current_value()
+        aggregate.refresh_all()
+        assert aggregate.current_value() == maintained
+
+
+class TestPartialProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        steps=st.integers(1, 20),
+        depth=st.integers(1, 3),
+    )
+    @settings(**COMMON)
+    def test_fragments_stay_exact(self, seed, steps, depth):
+        store, root = random_labelled_tree(
+            nodes=25, labels=("a", "b", "c"), seed=seed
+        )
+        index = ParentIndex(store)
+        view = PartialMaterializedView(
+            ViewDefinition.parse(DEF), store, depth=depth
+        )
+        index.ignore_view("V")
+        SimpleViewMaintainer(view, parent_index=index, subscribe=True)  # type: ignore[arg-type]
+        view.load_members(
+            compute_view_members(view.definition, store)
+        )
+        store.subscribe(view.handle_fragment_update)
+        run_stream(store, root, seed + 1, steps)
+        assert view.members() == compute_view_members(
+            view.definition, store
+        )
+        assert view.check_fragments() == []
+
+
+class TestMultiPathProperties:
+    DEFS = (
+        "define mview V as: SELECT root0.a X WHERE X.b > 50",
+        "define mview V as: SELECT root0.b X WHERE X.a < 40",
+        "define mview V as: SELECT root0.c X",
+    )
+
+    @given(
+        seed=st.integers(0, 10_000),
+        steps=st.integers(1, 20),
+        branch_count=st.integers(1, 3),
+    )
+    @settings(**COMMON)
+    def test_union_invariant(self, seed, steps, branch_count):
+        store, root = random_labelled_tree(
+            nodes=25, labels=("a", "b", "c"), seed=seed
+        )
+        index = ParentIndex(store)
+        view = MultiPathView(
+            "V", self.DEFS[:branch_count], store, parent_index=index
+        )
+        run_stream(store, root, seed + 1, steps)
+        assert view.check()
+
+
+def _random_payroll(rng: random.Random, people: int) -> ObjectStore:
+    s = ObjectStore()
+    names = ("Mark", "John", "Jane", "Mara")
+    for i in range(people):
+        s.add_atomic(f"n{i}", "name", rng.choice(names))
+        s.add_atomic(f"s{i}", "salary", rng.randint(1, 100))
+        s.add_set(f"e{i}", "person", [f"n{i}", f"s{i}"])
+    s.add_set("ROOT", "company", [f"e{i}" for i in range(people)])
+    return s
+
+
+class TestBulkScreenSoundness:
+    GUARD_NAMES = ("Mark", "John", "Jane")
+    COND_CHOICES = (
+        "define mview V as: SELECT ROOT.person X WHERE X.name = 'John'",
+        "define mview V as: SELECT ROOT.person X WHERE X.salary > 50",
+        "define mview V as: SELECT ROOT.person X WHERE X.name = 'Mark'",
+        "define mview V as: SELECT ROOT.person X",
+    )
+
+    @given(
+        seed=st.integers(0, 10_000),
+        people=st.integers(3, 15),
+        guard_name=st.sampled_from(GUARD_NAMES),
+        def_index=st.integers(0, len(COND_CHOICES) - 1),
+        delta=st.integers(-30, 30),
+        depth=st.integers(1, 2),
+    )
+    @settings(**COMMON)
+    def test_screened_bulk_never_changes_the_view(
+        self, seed, people, guard_name, def_index, delta, depth
+    ):
+        rng = random.Random(seed)
+        store = _random_payroll(rng, people)
+        definition = ViewDefinition.parse(self.COND_CHOICES[def_index])
+        bulk = BulkUpdate(
+            owner_path=PathExpression.parse("person"),
+            guard=Comparison(PathExpression.parse("name"), "=", guard_name),
+            target_label="salary",
+            transform=lambda v: v + delta,
+        )
+        if bulk_is_relevant(definition, bulk, fragment_depth=depth):
+            return  # nothing to check: the screen made no promise
+
+        index = ParentIndex(store)
+        view = PartialMaterializedView(definition, store, depth=depth)
+        index.ignore_view("V")
+        SimpleViewMaintainer(view, parent_index=index, subscribe=True)  # type: ignore[arg-type]
+        view.load_members(compute_view_members(definition, store))
+        store.subscribe(view.handle_fragment_update)
+
+        members_before = view.members()
+        values_before = {
+            oid: (obj.value if (obj := view.delegate(oid)) is not None
+                  and obj.is_atomic else None)
+            for oid in view.copied_oids()
+        }
+        execute_bulk(store, "ROOT", bulk)
+        assert view.members() == members_before
+        values_after = {
+            oid: (obj.value if (obj := view.delegate(oid)) is not None
+                  and obj.is_atomic else None)
+            for oid in view.copied_oids()
+        }
+        assert values_after == values_before

@@ -1,0 +1,81 @@
+"""Property-based tests for warehouse maintenance.
+
+Warehouse-maintained views must equal a from-scratch evaluation of the
+definition against the current *source* state, for every combination of
+reporting level, cache policy, and source capability, under random
+update streams.
+"""
+
+from hypothesis import given, settings
+
+from tests.property.support import common_settings
+from hypothesis import strategies as st
+
+from repro.views import ViewDefinition, compute_view_members
+from repro.warehouse import (
+    CachePolicy,
+    ReportingLevel,
+    Source,
+    SourceCapability,
+    Warehouse,
+)
+from repro.workloads import UpdateStream, random_labelled_tree
+
+COMMON = common_settings(20)
+
+DEF = "define mview V as: SELECT root0.a X WHERE X.b > 50"
+
+
+class TestWarehouseEquivalence:
+    @given(
+        seed=st.integers(0, 10_000),
+        steps=st.integers(1, 15),
+        level=st.sampled_from([1, 2, 3]),
+        policy=st.sampled_from(list(CachePolicy)),
+        capability=st.sampled_from(list(SourceCapability)),
+    )
+    @settings(**COMMON)
+    def test_members_match_source_truth(
+        self, seed, steps, level, policy, capability
+    ):
+        store, root = random_labelled_tree(
+            nodes=25, labels=("a", "b", "c"), seed=seed
+        )
+        source = Source("S1", store, root, capability=capability)
+        wh = Warehouse()
+        wh.connect(source, level=ReportingLevel(level))
+        wview = wh.define_view(DEF, "S1", cache_policy=policy)
+        stream = UpdateStream(
+            store,
+            seed=seed + 1,
+            protected=frozenset({root}),
+            labels_for_new=("a", "b", "c"),
+        )
+        stream.run(steps)
+        truth = compute_view_members(ViewDefinition.parse(DEF), store)
+        assert wview.members() == truth
+
+    @given(seed=st.integers(0, 5_000), steps=st.integers(1, 12))
+    @settings(**COMMON)
+    def test_screening_never_loses_updates(self, seed, steps):
+        """Screening (level 2 + knowledge) must stay semantically
+        invisible: same final members with and without it."""
+        results = []
+        for screen in (True, False):
+            store, root = random_labelled_tree(
+                nodes=25, labels=("a", "b", "c"), seed=seed
+            )
+            wh = Warehouse()
+            wh.connect(
+                Source("S1", store, root),
+                level=ReportingLevel.WITH_CONTENTS,
+            )
+            wview = wh.define_view(DEF, "S1", screen=screen)
+            UpdateStream(
+                store,
+                seed=seed + 1,
+                protected=frozenset({root}),
+                labels_for_new=("a", "b", "c"),
+            ).run(steps)
+            results.append(wview.members())
+        assert results[0] == results[1]

@@ -1,0 +1,124 @@
+"""Tests for condition evaluation (cond() semantics, Section 2)."""
+
+import pytest
+
+from repro.paths import PathExpression
+from repro.query import (
+    And,
+    Comparison,
+    Exists,
+    Not,
+    Or,
+    evaluate_condition,
+    is_simple_condition,
+)
+from repro.query.conditions import atomic_values_on_path, objects_on_path
+
+p = PathExpression.parse
+
+
+class TestComparisonAtom:
+    def test_existential_semantics(self, person_store):
+        # P1 has one age (45); cond true if ANY value satisfies.
+        assert evaluate_condition(
+            person_store, "P1", Comparison(p("age"), "<=", 45)
+        )
+        assert not evaluate_condition(
+            person_store, "P1", Comparison(p("age"), ">", 45)
+        )
+
+    def test_multiple_values_any(self, person_store):
+        person_store.add_atomic("A1b", "age", 99)
+        person_store.insert_edge("P1", "A1b")
+        assert evaluate_condition(
+            person_store, "P1", Comparison(p("age"), ">", 90)
+        )
+
+    def test_missing_path_is_false(self, person_store):
+        assert not evaluate_condition(
+            person_store, "P2", Comparison(p("age"), ">", 0)
+        )
+
+    def test_string_equality(self, person_store):
+        assert evaluate_condition(
+            person_store, "P1", Comparison(p("name"), "=", "John")
+        )
+
+    def test_contains(self, person_store):
+        assert evaluate_condition(
+            person_store, "P2", Comparison(p("address"), "contains", "Palo")
+        )
+
+    def test_matches_regex(self, person_store):
+        assert evaluate_condition(
+            person_store, "P2", Comparison(p("name"), "matches", "^Sal")
+        )
+
+    def test_type_mismatch_is_false_not_error(self, person_store):
+        assert not evaluate_condition(
+            person_store, "P1", Comparison(p("name"), ">", 40)
+        )
+
+    def test_wildcard_condition_path(self, person_store):
+        # any descendant name = 'John' under P1 (includes student P3's).
+        assert evaluate_condition(
+            person_store, "P1", Comparison(p("*.name"), "=", "John")
+        )
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(p("age"), "~~", 4)
+
+
+class TestBooleanConnectives:
+    def test_exists(self, person_store):
+        assert evaluate_condition(person_store, "P1", Exists(p("salary")))
+        assert not evaluate_condition(person_store, "P2", Exists(p("salary")))
+
+    def test_and(self, person_store):
+        cond = And((
+            Comparison(p("age"), "<=", 45),
+            Comparison(p("name"), "=", "John"),
+        ))
+        assert evaluate_condition(person_store, "P1", cond)
+        assert not evaluate_condition(person_store, "P4", cond)
+
+    def test_or(self, person_store):
+        cond = Or((
+            Comparison(p("age"), ">", 100),
+            Comparison(p("name"), "=", "Sally"),
+        ))
+        assert evaluate_condition(person_store, "P2", cond)
+
+    def test_not(self, person_store):
+        cond = Not(Exists(p("salary")))
+        assert evaluate_condition(person_store, "P2", cond)
+        assert not evaluate_condition(person_store, "P1", cond)
+
+
+class TestPathHelpers:
+    def test_objects_on_path(self, person_store):
+        assert objects_on_path(person_store, "ROOT", p("professor")) == {
+            "P1", "P2",
+        }
+
+    def test_atomic_values_sorted_by_oid(self, person_store):
+        values = atomic_values_on_path(person_store, "P1", p("?"))
+        assert values == [45, "John", 100000]  # A1, N1, S1 order
+
+    def test_set_objects_excluded_from_values(self, person_store):
+        values = atomic_values_on_path(person_store, "ROOT", p("professor"))
+        assert values == []
+
+
+class TestSimpleClassification:
+    def test_simple(self):
+        assert is_simple_condition(None)
+        assert is_simple_condition(Comparison(p("age"), ">", 4))
+
+    def test_not_simple(self):
+        assert not is_simple_condition(Comparison(p("*.age"), ">", 4))
+        assert not is_simple_condition(
+            And((Comparison(p("a"), ">", 1), Comparison(p("b"), ">", 2)))
+        )
+        assert not is_simple_condition(Exists(p("a")))

@@ -1,0 +1,131 @@
+"""Tests for scoped query evaluation — the paper's worked examples."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.gsdb import DatabaseRegistry
+from repro.query import QueryEvaluator
+from repro.workloads import PERSON_OIDS, register_person_database
+
+
+@pytest.fixture
+def evaluator(person_registry) -> QueryEvaluator:
+    return QueryEvaluator(person_registry)
+
+
+class TestBasicEvaluation:
+    def test_paper_section_2_query(self, evaluator):
+        # SELECT ROOT.professor X WHERE X.age > 40 -> {P1}
+        assert evaluator.evaluate_oids(
+            "SELECT ROOT.professor X WHERE X.age > 40"
+        ) == {"P1"}
+
+    def test_example_3_view_query(self, evaluator):
+        # SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON -> {P1, P3}
+        assert evaluator.evaluate_oids(
+            "SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON"
+        ) == {"P1", "P3"}
+
+    def test_no_condition(self, evaluator):
+        assert evaluator.evaluate_oids("SELECT ROOT.professor X") == {
+            "P1", "P2",
+        }
+
+    def test_answer_object_format(self, evaluator, person_store):
+        answer = evaluator.evaluate("SELECT ROOT.professor X")
+        assert answer.label == "answer"
+        assert answer.is_set
+        assert answer.children() == {"P1", "P2"}
+        assert answer.oid in person_store  # registered for follow-ons
+
+    def test_database_name_as_entry(self, evaluator):
+        # DB.? = all objects in DB (paper Section 2).
+        result = evaluator.evaluate_oids("SELECT PERSON.? X")
+        assert result == set(PERSON_OIDS)
+
+    def test_unknown_entry(self, evaluator):
+        with pytest.raises(QueryEvaluationError):
+            evaluator.evaluate_oids("SELECT NOWHERE.a X")
+
+
+class TestWithinScope:
+    """Paper Section 2: 'any OIDs that are not in DB1 are completely
+    ignored by the query'."""
+
+    def test_paper_example_a1_excluded(self, evaluator, person_registry):
+        # All nodes in D1 except A1 -> empty result.
+        person_registry.create_database(
+            "D1", [o for o in PERSON_OIDS if o != "A1"]
+        )
+        assert (
+            evaluator.evaluate_oids(
+                "SELECT ROOT.professor X WHERE X.age > 40 WITHIN D1"
+            )
+            == set()
+        )
+
+    def test_within_hides_intermediate_objects(
+        self, evaluator, person_registry
+    ):
+        # Excluding P1 cuts the path to its subobjects entirely.
+        person_registry.create_database(
+            "D2", [o for o in PERSON_OIDS if o != "P1"]
+        )
+        assert (
+            evaluator.evaluate_oids(
+                "SELECT ROOT.professor.student X WITHIN D2"
+            )
+            == set()
+        )
+
+    def test_within_full_database_unrestricted(self, evaluator):
+        full = evaluator.evaluate_oids("SELECT ROOT.professor X")
+        scoped = evaluator.evaluate_oids(
+            "SELECT ROOT.professor X WITHIN PERSON"
+        )
+        assert full == scoped
+
+
+class TestAnsIntScope:
+    """Paper Section 2: evaluation may follow remote pointers; only the
+    answer is intersected."""
+
+    def test_paper_example_answer_restricted(
+        self, evaluator, person_registry
+    ):
+        person_registry.create_database(
+            "D1", [o for o in PERSON_OIDS if o != "A1"]
+        )
+        # Condition can read A1 (remote), but answer P1 must be in D1.
+        assert evaluator.evaluate_oids(
+            "SELECT ROOT.professor X WHERE X.age > 40 ANS INT D1"
+        ) == {"P1"}
+
+    def test_paper_example_member_excluded(self, evaluator, person_registry):
+        person_registry.create_database(
+            "D3", [o for o in PERSON_OIDS if o != "P1"]
+        )
+        assert (
+            evaluator.evaluate_oids(
+                "SELECT ROOT.professor X WHERE X.age > 40 ANS INT D3"
+            )
+            == set()
+        )
+
+    def test_example_3_3_ans_int_view_object(
+        self, evaluator, person_registry, person_store
+    ):
+        # Register a "view" database VJ = {P1, P3}; paper query 3.3.
+        person_store.add_set("VJ", "view", ["P1", "P3"])
+        person_registry.register("VJ", "VJ")
+        assert evaluator.evaluate_oids(
+            "SELECT ROOT.professor X ANS INT VJ"
+        ) == {"P1"}
+
+
+class TestQueriesAcrossViews:
+    def test_view_as_starting_point(self, evaluator, person_registry, person_store):
+        # Paper: SELECT VJ.?.age gives ages of persons named John.
+        person_store.add_set("VJ", "view", ["P1", "P3"])
+        person_registry.register("VJ", "VJ")
+        assert evaluator.evaluate_oids("SELECT VJ.?.age") == {"A1", "A3"}

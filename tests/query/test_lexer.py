@@ -1,0 +1,90 @@
+"""Tests for the query tokenizer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)]
+
+
+class TestBasics:
+    def test_select_query(self):
+        tokens = tokenize("SELECT ROOT.professor X WHERE X.age > 40")
+        assert [t.kind for t in tokens] == [
+            "KEYWORD", "IDENT", "DOT", "IDENT", "IDENT",
+            "KEYWORD", "IDENT", "DOT", "IDENT", "OP", "NUMBER",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("select where within ans int") == ["KEYWORD"] * 5
+        assert values("select") == ["SELECT"]
+
+    def test_identifiers_preserve_case(self):
+        assert values("RootX") == ["RootX"]
+
+    def test_wildcards(self):
+        assert kinds("ROOT.*.? X") == ["IDENT", "DOT", "STAR", "DOT", "QMARK", "IDENT"]
+
+    def test_pipe_alternation(self):
+        assert kinds("a|b") == ["IDENT", "PIPE", "IDENT"]
+
+
+class TestLiterals:
+    def test_string_literal(self):
+        token = tokenize("'John'")[0]
+        assert token.kind == "STRING"
+        assert token.value == "John"
+
+    def test_string_with_escape(self):
+        assert tokenize(r"'it\'s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("'oops")
+
+    @pytest.mark.parametrize(
+        "text, value",
+        [("42", 42), ("-7", -7), ("3.5", 3.5), ("1e3", 1000.0), ("2.5e-1", 0.25)],
+    )
+    def test_numbers(self, text, value):
+        token = tokenize(text)[0]
+        assert token.kind == "NUMBER"
+        assert token.value == value
+
+    def test_booleans(self):
+        tokens = tokenize("true FALSE")
+        assert [t.kind for t in tokens] == ["BOOL", "BOOL"]
+        assert [t.value for t in tokens] == [True, False]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_comparisons(self, op):
+        token = tokenize(op)[0]
+        assert (token.kind, token.value) == ("OP", op)
+
+    def test_maximal_munch(self):
+        assert values("<=") == ["<="]
+        assert values("< =") == ["<", "="]
+
+    def test_contains_matches_keywords(self):
+        assert values("contains matches") == ["CONTAINS", "MATCHES"]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            tokenize("SELECT @")
+        assert exc.value.position == 7
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT X")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

@@ -1,0 +1,163 @@
+"""Tests for the query / view-definition parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.paths import PathExpression
+from repro.query import (
+    And,
+    Comparison,
+    Exists,
+    Not,
+    Or,
+    parse_query,
+    parse_statement,
+)
+from repro.query.parser import ViewDefinitionStatement
+
+
+class TestSelectClause:
+    def test_paper_query_2_1(self):
+        q = parse_query("SELECT ROOT.professor X WHERE X.age > 40")
+        assert q.entry == "ROOT"
+        assert q.select_path == PathExpression.parse("professor")
+        assert q.variable == "X"
+        assert q.condition == Comparison(PathExpression.parse("age"), ">", 40)
+        assert q.within is None and q.ans_int is None
+
+    def test_variable_optional(self):
+        # Paper expression: SELECT VJ.?.age
+        q = parse_query("SELECT VJ.?.age")
+        assert q.entry == "VJ"
+        assert str(q.select_path) == "?.age"
+        assert q.variable == "X"
+        assert q.condition is None
+
+    def test_custom_variable(self):
+        q = parse_query("SELECT ROOT.professor Y WHERE Y.age > 40")
+        assert q.variable == "Y"
+
+    def test_wrong_variable_in_condition(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT ROOT.professor X WHERE Y.age > 40")
+
+    def test_wildcard_select_path(self):
+        q = parse_query("SELECT ROOT.* X WHERE X.name = 'John'")
+        assert str(q.select_path) == "*"
+
+    def test_entry_only(self):
+        q = parse_query("SELECT ROOT")
+        assert len(q.select_path) == 0
+
+
+class TestScopeClauses:
+    def test_within(self):
+        q = parse_query("SELECT ROOT.professor X WHERE X.age > 40 WITHIN D1")
+        assert q.within == "D1"
+
+    def test_ans_int(self):
+        q = parse_query("SELECT ROOT.professor X ANS INT VJ")
+        assert q.ans_int == "VJ"
+
+    def test_both_scopes(self):
+        q = parse_query("SELECT DB.? X WITHIN D1 ANS INT D2")
+        assert (q.within, q.ans_int) == ("D1", "D2")
+
+    def test_with_scope_helper(self):
+        q = parse_query("SELECT ROOT.professor X")
+        scoped = q.with_scope(ans_int="AUTH")
+        assert scoped.ans_int == "AUTH"
+        assert scoped.entry == q.entry
+
+
+class TestConditions:
+    def test_string_literal(self):
+        q = parse_query("SELECT ROOT.* X WHERE X.name = 'John'")
+        assert q.condition.literal == "John"
+
+    def test_conjunction(self):
+        q = parse_query(
+            "SELECT ROOT.professor X WHERE X.age > 30 AND X.age < 50"
+        )
+        assert isinstance(q.condition, And)
+        assert len(q.condition.operands) == 2
+
+    def test_disjunction_and_precedence(self):
+        q = parse_query(
+            "SELECT R.t X WHERE X.a = 1 OR X.b = 2 AND X.c = 3"
+        )
+        assert isinstance(q.condition, Or)
+        assert isinstance(q.condition.operands[1], And)
+
+    def test_parentheses(self):
+        q = parse_query("SELECT R.t X WHERE (X.a = 1 OR X.b = 2) AND X.c = 3")
+        assert isinstance(q.condition, And)
+        assert isinstance(q.condition.operands[0], Or)
+
+    def test_not(self):
+        q = parse_query("SELECT R.t X WHERE NOT X.a = 1")
+        assert isinstance(q.condition, Not)
+
+    def test_exists(self):
+        q = parse_query("SELECT R.t X WHERE EXISTS X.salary")
+        assert q.condition == Exists(PathExpression.parse("salary"))
+
+    def test_contains_operator(self):
+        q = parse_query("SELECT S.page X WHERE X.word contains 'flower'")
+        assert q.condition.op == "contains"
+
+    def test_condition_path_with_wildcard(self):
+        q = parse_query("SELECT R.t X WHERE X.*.age > 5")
+        assert str(q.condition.path) == "*.age"
+
+
+class TestViewDefinitions:
+    def test_paper_expression_3_2(self):
+        stmt = parse_statement(
+            "define view VJ as: SELECT ROOT.* X "
+            "WHERE X.name = 'John' WITHIN PERSON"
+        )
+        assert isinstance(stmt, ViewDefinitionStatement)
+        assert stmt.name == "VJ"
+        assert not stmt.materialized
+        assert stmt.query.within == "PERSON"
+
+    def test_paper_expression_3_5_mview(self):
+        stmt = parse_statement(
+            "define mview MVJ as: SELECT ROOT.* X WHERE X.name = 'John'"
+        )
+        assert stmt.materialized
+
+    def test_colon_optional(self):
+        stmt = parse_statement("define view V as SELECT ROOT.a X")
+        assert stmt.name == "V"
+
+    def test_bare_query_from_parse_statement(self):
+        q = parse_statement("SELECT ROOT.a X")
+        assert not isinstance(q, ViewDefinitionStatement)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT .a X",
+            "SELECT ROOT.a X WHERE",
+            "SELECT ROOT.a X WHERE X.b >",
+            "SELECT ROOT.a X WITHIN",
+            "SELECT ROOT.a X ANS D1",  # missing INT
+            "SELECT ROOT.a X trailing garbage =",
+            "define view as: SELECT ROOT.a X",
+            "define table T as: SELECT ROOT.a X",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_statement(bad)
+
+    def test_round_trip_str(self):
+        text = "SELECT ROOT.professor X WHERE X.age > 40 WITHIN D1"
+        q = parse_query(text)
+        assert parse_query(str(q)) == q

@@ -1,0 +1,80 @@
+"""Tests for querying virtual views: rewrite vs materialize-on-demand."""
+
+import pytest
+
+from repro.query import (
+    QueryEvaluator,
+    Strategy,
+    answer_over_virtual_view,
+    parse_query,
+    rewrite_over_view,
+)
+
+
+@pytest.fixture
+def evaluator(person_registry):
+    return QueryEvaluator(person_registry)
+
+
+VIEW_QUERY = "SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON"
+FOLLOW_ON = "SELECT VJ.?.age X"
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize(
+        "follow_on",
+        [
+            "SELECT VJ.?.age X",
+            "SELECT VJ.? X",
+            "SELECT VJ.?.name X WHERE X.name = 'John'",
+            "SELECT VJ.* X WHERE X.major = 'education'",
+        ],
+    )
+    def test_rewrite_equals_materialize(self, evaluator, follow_on):
+        view_query = parse_query(VIEW_QUERY)
+        query = parse_query(follow_on)
+        rewritten = answer_over_virtual_view(
+            evaluator, query, view_query, strategy=Strategy.REWRITE
+        )
+        materialized = answer_over_virtual_view(
+            evaluator, query, view_query,
+            strategy=Strategy.MATERIALIZE_ON_DEMAND,
+        )
+        assert rewritten.children() == materialized.children()
+
+    def test_expected_ages_of_johns(self, evaluator):
+        answer = answer_over_virtual_view(
+            evaluator, parse_query(FOLLOW_ON), parse_query(VIEW_QUERY)
+        )
+        assert answer.children() == {"A1", "A3"}
+
+
+class TestRewriteMechanics:
+    def test_pipeline_structure(self):
+        pipeline = rewrite_over_view(
+            parse_query(FOLLOW_ON), parse_query(VIEW_QUERY)
+        )
+        assert pipeline.view_query.within == "PERSON"
+        assert str(pipeline.follow_on.select_path) == "?.age"
+        assert "|>" in str(pipeline)
+
+    def test_ans_int_applies_to_follow_on(self, evaluator, person_registry):
+        person_registry.create_database("ONLY_A1", ["A1"])
+        answer = answer_over_virtual_view(
+            evaluator,
+            parse_query("SELECT VJ.?.age X ANS INT ONLY_A1"),
+            parse_query(VIEW_QUERY),
+        )
+        assert answer.children() == {"A1"}
+
+    def test_on_demand_temp_registration_cleaned_up(
+        self, evaluator, person_registry
+    ):
+        names_before = set(person_registry.names())
+        answer_over_virtual_view(
+            evaluator,
+            parse_query(FOLLOW_ON),
+            parse_query(VIEW_QUERY),
+            strategy=Strategy.MATERIALIZE_ON_DEMAND,
+        )
+        assert set(person_registry.names()) == names_before

@@ -1,0 +1,110 @@
+"""Tests for counting-based relational IVM."""
+
+import pytest
+
+from repro.relational import (
+    Atom,
+    ConjunctiveQuery,
+    CountingView,
+    Database,
+    Filter,
+    Var,
+)
+
+X, Y, T, V = Var("x"), Var("y"), Var("t"), Var("v")
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database()
+    child = db.create_table("CHILD", ("parent", "child"))
+    obj = db.create_table("OBJ", ("oid", "label"))
+    child.insert(("R", "t1"))
+    obj.insert(("t1", "tuple"))
+    return db
+
+
+TUPLES = ConjunctiveQuery(
+    head=(X,),
+    atoms=(Atom("CHILD", ("R", X)), Atom("OBJ", (X, "tuple"))),
+)
+
+
+class TestCountingView:
+    def test_initialize(self, db):
+        view = CountingView("T", TUPLES, db)
+        view.initialize()
+        assert view.support() == {("t1",)}
+        assert view.count(("t1",)) == 1
+        assert len(view) == 1
+
+    def test_insert_delta(self, db):
+        view = CountingView("T", TUPLES, db)
+        view.initialize()
+        db.table("OBJ").insert(("t2", "tuple"))
+        outcome = view.apply_delta("OBJ", ("t2", "tuple"), +1)
+        assert not outcome.changed  # no CHILD edge yet
+        db.table("CHILD").insert(("R", "t2"))
+        outcome = view.apply_delta("CHILD", ("R", "t2"), +1)
+        assert outcome.inserted == {("t2",)}
+        assert view.support() == {("t1",), ("t2",)}
+
+    def test_delete_delta_counts_down(self, db):
+        # Duplicate derivations: tuple leaves only when count hits zero.
+        db.table("CHILD").insert(("R", "t1"))  # second edge row
+        view = CountingView("T", TUPLES, db)
+        view.initialize()
+        assert view.count(("t1",)) == 2
+        db.table("CHILD").delete(("R", "t1"))
+        outcome = view.apply_delta("CHILD", ("R", "t1"), -1)
+        assert outcome.deleted == set()
+        assert view.count(("t1",)) == 1
+        db.table("CHILD").delete(("R", "t1"))
+        outcome = view.apply_delta("CHILD", ("R", "t1"), -1)
+        assert outcome.deleted == {("t1",)}
+        assert view.support() == set()
+
+    def test_unrelated_table_is_cheap_noop(self, db):
+        db.create_table("ATOM", ("oid", "type", "value"))
+        view = CountingView("T", TUPLES, db)
+        view.initialize()
+        db.table("ATOM").insert(("a", "integer", 1))
+        outcome = view.apply_delta("ATOM", ("a", "integer", 1), +1)
+        assert not outcome.changed
+
+    def test_invocations_counted(self, db):
+        view = CountingView("T", TUPLES, db)
+        view.initialize()
+        view.apply_delta("CHILD", ("R", "zz"), +1)
+        view.apply_delta("OBJ", ("zz", "nope"), +1)
+        assert view.invocations == 2
+
+    def test_check_against_full_evaluation(self, db):
+        view = CountingView("T", TUPLES, db)
+        view.initialize()
+        assert view.check_against_full_evaluation()
+        # Sneak in a new derivation without propagating deltas.
+        db.table("OBJ").insert(("t9", "tuple"))
+        db.table("CHILD").insert(("R", "t9"))
+        assert not view.check_against_full_evaluation()  # stale view
+
+    def test_filtered_view_maintenance(self, db):
+        db.create_table("ATOM", ("oid", "type", "value"))
+        db.table("ATOM").insert(("t1", "integer", 50))
+        query = ConjunctiveQuery(
+            head=(X,),
+            atoms=(
+                Atom("CHILD", ("R", X)),
+                Atom("ATOM", (X, T, V)),
+            ),
+            filters=(Filter(V, lambda v: v > 30, "> 30"),),
+        )
+        view = CountingView("F", query, db)
+        view.initialize()
+        assert view.support() == {("t1",)}
+        db.table("ATOM").delete(("t1", "integer", 50))
+        view.apply_delta("ATOM", ("t1", "integer", 50), -1)
+        db.table("ATOM").insert(("t1", "integer", 10))
+        view.apply_delta("ATOM", ("t1", "integer", 10), +1)
+        assert view.support() == set()
+        assert view.check_against_full_evaluation()

@@ -1,0 +1,132 @@
+"""Tests for the conjunctive-query engine (SPJ with bag semantics)."""
+
+import pytest
+
+from repro.relational import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    Filter,
+    Var,
+    evaluate,
+    evaluate_delta,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database()
+    child = db.create_table("CHILD", ("parent", "child"))
+    obj = db.create_table("OBJ", ("oid", "label"))
+    atom = db.create_table("ATOM", ("oid", "type", "value"))
+    child.insert(("ROOT", "P1"))
+    child.insert(("ROOT", "P2"))
+    child.insert(("P1", "A1"))
+    child.insert(("P2", "A2"))
+    obj.insert(("ROOT", "person"))
+    obj.insert(("P1", "professor"))
+    obj.insert(("P2", "professor"))
+    obj.insert(("A1", "age"))
+    obj.insert(("A2", "age"))
+    atom.insert(("A1", "integer", 45))
+    atom.insert(("A2", "integer", 60))
+    return db
+
+
+X, Y, T, V = Var("x"), Var("y"), Var("t"), Var("v")
+
+PROFESSORS = ConjunctiveQuery(
+    head=(X,),
+    atoms=(
+        Atom("CHILD", ("ROOT", X)),
+        Atom("OBJ", (X, "professor")),
+    ),
+)
+
+YOUNG = ConjunctiveQuery(
+    head=(X,),
+    atoms=(
+        Atom("CHILD", ("ROOT", X)),
+        Atom("OBJ", (X, "professor")),
+        Atom("CHILD", (X, Y)),
+        Atom("OBJ", (Y, "age")),
+        Atom("ATOM", (Y, T, V)),
+    ),
+    filters=(Filter(V, lambda v: v <= 45, "<= 45"),),
+)
+
+
+class TestEvaluate:
+    def test_single_join(self, db):
+        assert evaluate(PROFESSORS, db) == {("P1",): 1, ("P2",): 1}
+
+    def test_join_chain_with_filter(self, db):
+        assert evaluate(YOUNG, db) == {("P1",): 1}
+
+    def test_multiplicities_multiply(self, db):
+        db.table("CHILD").insert(("ROOT", "P1"))  # duplicate edge row
+        assert evaluate(PROFESSORS, db)[("P1",)] == 2
+
+    def test_repeated_variable_join(self, db):
+        # Self-join through the same variable: parent of an age object.
+        query = ConjunctiveQuery(
+            head=(X,),
+            atoms=(Atom("CHILD", (X, Y)), Atom("OBJ", (Y, "age"))),
+        )
+        assert evaluate(query, db) == {("P1",): 1, ("P2",): 1}
+
+    def test_constants_filter_rows(self, db):
+        query = ConjunctiveQuery(
+            head=(Y,), atoms=(Atom("CHILD", ("P1", Y)),)
+        )
+        assert evaluate(query, db) == {("A1",): 1}
+
+    def test_empty_result(self, db):
+        query = ConjunctiveQuery(
+            head=(X,), atoms=(Atom("OBJ", (X, "dean")),)
+        )
+        assert evaluate(query, db) == {}
+
+    def test_multi_head_projection(self, db):
+        query = ConjunctiveQuery(
+            head=(X, Y),
+            atoms=(Atom("CHILD", (X, Y)), Atom("OBJ", (Y, "age"))),
+        )
+        assert set(evaluate(query, db)) == {("P1", "A1"), ("P2", "A2")}
+
+
+class TestEvaluateDelta:
+    def test_delta_insert_matches_rule(self, db):
+        # Insert CHILD(ROOT, P3) after adding P3 as a professor.
+        db.table("OBJ").insert(("P3", "professor"))
+        db.table("CHILD").insert(("ROOT", "P3"))
+        delta = evaluate_delta(PROFESSORS, db, 0, ("ROOT", "P3"), +1)
+        assert delta == {("P3",): 1}
+
+    def test_delta_row_not_matching_atom(self, db):
+        delta = evaluate_delta(PROFESSORS, db, 0, ("P1", "A1"), +1)
+        # ('P1','A1') cannot unify with CHILD(ROOT, x).
+        assert delta == {}
+
+    def test_delta_negative_count(self, db):
+        db.table("CHILD").delete(("ROOT", "P1"))
+        delta = evaluate_delta(PROFESSORS, db, 0, ("ROOT", "P1"), -1)
+        assert delta == {("P1",): -1}
+
+    def test_delta_through_filter(self, db):
+        db.table("ATOM").delete(("A1", "integer", 45))
+        db.table("ATOM").insert(("A1", "integer", 99))
+        delta_out = evaluate_delta(
+            YOUNG, db, 4, ("A1", "integer", 45), -1
+        )
+        delta_in = evaluate_delta(YOUNG, db, 4, ("A1", "integer", 99), +1)
+        assert delta_out == {("P1",): -1}
+        assert delta_in == {}  # 99 fails the filter
+
+    def test_delta_skips_pinned_atom_in_join(self, db):
+        # The pinned atom must not be re-joined against the table.
+        db.table("CHILD").insert(("P1", "A9"))
+        db.table("OBJ").insert(("A9", "age"))
+        db.table("ATOM").insert(("A9", "integer", 10))
+        delta = evaluate_delta(YOUNG, db, 2, ("P1", "A9"), +1)
+        assert delta == {("P1",): 1}

@@ -1,0 +1,108 @@
+"""Tests for the three-table flattening (paper Example 8)."""
+
+import pytest
+
+from repro.gsdb import Delete, Insert, ObjectStore
+from repro.relational import ATOM, CHILD, OBJ, Database, Flattener
+
+
+@pytest.fixture
+def flat(person_store):
+    flattener = Flattener(person_store)
+    flattener.load()
+    return flattener
+
+
+class TestLoad:
+    def test_example_8_tables(self, flat):
+        obj = flat.db.table(OBJ)
+        child = flat.db.table(CHILD)
+        atom = flat.db.table(ATOM)
+        assert obj.count(("ROOT", "person")) == 1
+        assert obj.count(("P1", "professor")) == 1
+        assert child.count(("ROOT", "P1")) == 1
+        assert child.count(("P1", "N1")) == 1
+        assert atom.count(("N1", "string", "John")) == 1
+        assert atom.count(("A1", "integer", 45)) == 1
+        assert atom.count(("S1", "dollar", 100_000)) == 1
+
+    def test_every_object_in_obj_table(self, flat, person_store):
+        assert len(flat.db.table(OBJ)) == len(person_store)
+
+    def test_verify_against_store(self, flat):
+        assert flat.verify_against_store()
+
+
+class TestDeltaTranslation:
+    def test_insert_is_one_child_delta(self, flat):
+        deltas = flat.deltas_for(Insert("P2", "N2x")) if False else (
+            flat.deltas_for(Insert("P2", "ADD2"))
+        )
+        assert [str(d) for d in deltas] == ["+CHILD('P2', 'ADD2')"]
+
+    def test_delete_is_one_child_delta(self, flat):
+        (delta,) = flat.deltas_for(Delete("P1", "N1"))
+        assert delta.table == CHILD and delta.count == -1
+
+    def test_modify_is_two_atom_deltas(self, flat, person_store):
+        update = person_store.modify_value("A1", 46)
+        deltas = flat.deltas_for(update)
+        assert len(deltas) == 2
+        assert deltas[0].row == ("A1", "integer", 45)
+        assert deltas[0].count == -1
+        assert deltas[1].row == ("A1", "integer", 46)
+        assert deltas[1].count == +1
+
+    def test_creation_of_atomic_is_two_deltas_plus_edge(
+        self, flat, person_store
+    ):
+        # The paper: "an insertion of an atomic object needs to modify
+        # all three tables".
+        obj = person_store.add_atomic("A9", "age", 30)
+        creation = list(flat.creation_deltas(obj))
+        edge = flat.deltas_for(Insert("P2", "A9"))
+        tables = [d.table for d in creation + edge]
+        assert sorted(tables) == [ATOM, CHILD, OBJ]
+
+    def test_removal_deltas_inverse_creation(self, flat, person_store):
+        obj = person_store.get("P1")
+        created = list(flat.creation_deltas(obj))
+        removed = list(flat.removal_deltas(obj))
+        assert [(d.table, d.row) for d in created] == [
+            (d.table, d.row) for d in removed
+        ]
+        assert all(d.count == -1 for d in removed)
+
+
+class TestRoundTrip:
+    def test_apply_deltas_keeps_mirror(self, flat, person_store):
+        person_store.add_atomic("A9", "age", 30)
+        for delta in flat.creation_deltas(person_store.get("A9")):
+            flat.apply_delta(delta)
+        update = person_store.insert_edge("P2", "A9")
+        for delta in flat.deltas_for(update):
+            flat.apply_delta(delta)
+        update = person_store.modify_value("A9", 31)
+        for delta in flat.deltas_for(update):
+            flat.apply_delta(delta)
+        assert flat.verify_against_store()
+
+
+class TestIgnoring:
+    def test_ignored_view_objects_excluded(self, person_store):
+        person_store.check_references = False
+        person_store.add_set("MV", "mview", [])
+        person_store.add_set("MV.P1", "professor", ["N1"])
+        flattener = Flattener(person_store)
+        flattener.ignore_view("MV")
+        flattener.load()
+        assert flattener.db.table(OBJ).count(("MV", "mview")) == 0
+        assert flattener.db.table(OBJ).count(("MV.P1", "professor")) == 0
+        assert flattener.verify_against_store()
+
+    def test_updates_on_ignored_objects_yield_nothing(self, person_store):
+        person_store.check_references = False
+        person_store.add_set("MV", "mview", [])
+        flattener = Flattener(person_store)
+        flattener.ignore_view("MV")
+        assert flattener.deltas_for(Insert("MV", "P1")) == []

@@ -1,0 +1,116 @@
+"""Tests for multiset tables."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Database, Table
+
+
+class TestTable:
+    def test_schema_enforced(self):
+        table = Table("T", ("a", "b"))
+        with pytest.raises(SchemaError):
+            table.insert(("only-one",))
+
+    def test_insert_and_count(self):
+        table = Table("T", ("a", "b"))
+        table.insert(("x", 1))
+        table.insert(("x", 1))
+        assert table.count(("x", 1)) == 2
+        assert len(table) == 1
+        assert table.total_count() == 2
+
+    def test_delete_to_zero_removes(self):
+        table = Table("T", ("a",))
+        table.insert(("x",), 2)
+        table.delete(("x",))
+        assert table.count(("x",)) == 1
+        table.delete(("x",))
+        assert ("x",) not in table
+        assert len(table) == 0
+
+    def test_negative_multiplicity_rejected(self):
+        table = Table("T", ("a",))
+        with pytest.raises(SchemaError):
+            table.delete(("ghost",))
+
+    def test_zero_count_noop(self):
+        table = Table("T", ("a",))
+        table.insert(("x",), 0)
+        assert len(table) == 0
+
+    def test_rows_iteration_sorted(self):
+        table = Table("T", ("a",))
+        table.insert(("z",))
+        table.insert(("a",), 3)
+        assert list(table.rows()) == [(("a",), 3), (("z",), 1)]
+
+    def test_snapshot_independent(self):
+        table = Table("T", ("a",))
+        table.insert(("x",))
+        snap = table.snapshot()
+        table.insert(("y",))
+        assert snap == {("x",): 1}
+
+    def test_column_position(self):
+        table = Table("T", ("a", "b"))
+        assert table.column_position("b") == 1
+        with pytest.raises(SchemaError):
+            table.column_position("z")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("T", ())
+
+
+class TestIndexes:
+    def test_rows_with(self):
+        table = Table("CHILD", ("parent", "child"))
+        table.insert(("p1", "c1"))
+        table.insert(("p1", "c2"))
+        table.insert(("p2", "c3"), 2)
+        assert table.rows_with(0, "p1") == [
+            (("p1", "c1"), 1), (("p1", "c2"), 1),
+        ]
+        assert table.rows_with(1, "c3") == [(("p2", "c3"), 2)]
+        assert table.rows_with(0, "nope") == []
+
+    def test_index_maintained_across_mutations(self):
+        table = Table("T", ("a", "b"))
+        table.insert(("x", 1))
+        table.rows_with(0, "x")  # build index
+        table.insert(("x", 2))
+        table.delete(("x", 1))
+        assert table.rows_with(0, "x") == [(("x", 2), 1)]
+
+    def test_index_probe_counted(self):
+        table = Table("T", ("a",))
+        table.insert(("x",))
+        before = table.counters.index_probes
+        table.rows_with(0, "x")
+        assert table.counters.index_probes == before + 1
+
+
+class TestDatabase:
+    def test_create_and_get(self):
+        db = Database()
+        db.create_table("T", ("a",))
+        assert db.table("T").name == "T"
+        assert "T" in db
+        assert db.names() == ["T"]
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("T", ("a",))
+        with pytest.raises(SchemaError):
+            db.create_table("T", ("a",))
+
+    def test_missing_table(self):
+        with pytest.raises(SchemaError):
+            Database().table("nope")
+
+    def test_shared_counters(self):
+        db = Database()
+        t = db.create_table("T", ("a",))
+        t.insert(("x",))
+        assert db.counters.object_writes == 1

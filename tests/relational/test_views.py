@@ -1,0 +1,73 @@
+"""Tests for compiling simple views to SPJ queries (Section 4.4)."""
+
+import pytest
+
+from repro.errors import ViewDefinitionError
+from repro.relational import Database, Flattener, compile_simple_view, evaluate, join_count
+from repro.views import ViewDefinition
+
+
+YP_DEF = "define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"
+
+
+class TestCompilation:
+    def test_atom_structure(self):
+        query = compile_simple_view(ViewDefinition.parse(YP_DEF))
+        tables = [a.table for a in query.atoms]
+        # CHILD,OBJ per sel step; CHILD,OBJ per cond step; final ATOM.
+        assert tables == ["CHILD", "OBJ", "CHILD", "OBJ", "ATOM"]
+        assert len(query.filters) == 1
+
+    def test_join_count_grows_with_path(self):
+        short = ViewDefinition.parse(
+            "define mview V as: SELECT R.a X WHERE X.b > 1"
+        )
+        long = ViewDefinition.parse(
+            "define mview V as: SELECT R.a.b.c X WHERE X.d.e > 1"
+        )
+        assert join_count(long) > join_count(short)
+        assert join_count(short) == 4  # 5 atoms - 1
+
+    def test_no_condition_compiles(self):
+        query = compile_simple_view(
+            ViewDefinition.parse("define mview V as: SELECT R.a.b X")
+        )
+        assert [a.table for a in query.atoms] == [
+            "CHILD", "OBJ", "CHILD", "OBJ",
+        ]
+        assert query.filters == ()
+
+    def test_root_is_constant(self):
+        query = compile_simple_view(ViewDefinition.parse(YP_DEF))
+        assert query.atoms[0].terms[0] == "ROOT"
+
+    def test_wildcard_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            compile_simple_view(
+                ViewDefinition.parse("define mview V as: SELECT R.* X")
+            )
+
+    def test_empty_select_path_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            compile_simple_view(
+                ViewDefinition.parse("define mview V as: SELECT R X")
+            )
+
+
+class TestEvaluationAgainstFlattenedStore:
+    def test_matches_gsdb_semantics(self, person_tree_store):
+        flattener = Flattener(person_tree_store)
+        flattener.load()
+        query = compile_simple_view(ViewDefinition.parse(YP_DEF))
+        result = evaluate(query, flattener.db)
+        assert {head[0] for head in result} == {"P1"}
+
+    def test_two_level_condition(self, person_tree_store):
+        flattener = Flattener(person_tree_store)
+        flattener.load()
+        d = ViewDefinition.parse(
+            "define mview V as: SELECT ROOT.professor X "
+            "WHERE X.student.age < 30"
+        )
+        result = evaluate(compile_simple_view(d), flattener.db)
+        assert {head[0] for head in result} == {"P1"}

@@ -1,0 +1,28 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.gsdb.object
+import repro.gsdb.oid
+import repro.paths.containment
+import repro.paths.expression
+import repro.paths.path
+
+MODULES = [
+    repro.gsdb.object,
+    repro.gsdb.oid,
+    repro.paths.containment,
+    repro.paths.expression,
+    repro.paths.path,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module has no doctests to run"

@@ -1,0 +1,144 @@
+"""Tests for the ViewCatalog façade."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.views import ViewCatalog
+from repro.views.catalog import _RecomputeMaintainer
+from repro.views.dag import DagCountingMaintainer
+from repro.views.extended import ExtendedViewMaintainer
+from repro.views.maintenance import SimpleViewMaintainer
+from repro.workloads import person_db, register_person_database
+
+
+@pytest.fixture
+def catalog(person_catalog) -> ViewCatalog:
+    return person_catalog
+
+
+class TestMaintainerSelection:
+    def test_simple_gets_algorithm_1(self, catalog):
+        catalog.define(
+            "define mview A as: SELECT ROOT.professor X WHERE X.age <= 45"
+        )
+        assert isinstance(catalog.maintainers["A"], SimpleViewMaintainer)
+
+    def test_wildcard_gets_extended(self, catalog):
+        catalog.define(
+            "define mview B as: SELECT ROOT.* X WHERE X.name = 'John'"
+        )
+        assert isinstance(catalog.maintainers["B"], ExtendedViewMaintainer)
+
+    def test_or_condition_falls_back_to_recompute(self, catalog):
+        catalog.define(
+            "define mview C as: SELECT ROOT.professor X "
+            "WHERE X.age > 90 OR X.name = 'John'"
+        )
+        assert isinstance(catalog.maintainers["C"], _RecomputeMaintainer)
+
+    def test_explicit_dag_maintainer(self, catalog):
+        catalog.define(
+            "define mview D as: SELECT ROOT.professor X WHERE X.age <= 45",
+            maintainer="dag",
+        )
+        assert isinstance(catalog.maintainers["D"], DagCountingMaintainer)
+
+    def test_duplicate_name_rejected(self, catalog):
+        catalog.define("define view V as: SELECT ROOT.professor X")
+        with pytest.raises(ViewError):
+            catalog.define("define mview V as: SELECT ROOT.professor X")
+
+
+class TestMaintenanceThroughCatalog:
+    def test_all_maintainer_kinds_stay_consistent(self, catalog):
+        s = catalog.store
+        catalog.define(
+            "define mview A as: SELECT ROOT.professor X WHERE X.age <= 45"
+        )
+        catalog.define(
+            "define mview B as: SELECT ROOT.* X WHERE X.name = 'John'"
+        )
+        catalog.define(
+            "define mview C as: SELECT ROOT.professor X "
+            "WHERE X.age > 90 OR X.name = 'Sally'"
+        )
+        s.add_atomic("A2", "age", 30)
+        s.insert_edge("P2", "A2")
+        s.modify_value("N2", "John")
+        s.delete_edge("P1", "A1")
+        reports = catalog.check_all()
+        assert all(r.ok for r in reports.values()), {
+            k: r.describe() for k, r in reports.items()
+        }
+
+    def test_recompute_on_demand(self, catalog):
+        s = catalog.store
+        view = catalog.define(
+            "define mview A as: SELECT ROOT.professor X WHERE X.age <= 45"
+        )
+        # Detach its maintainer, desync, then force recompute.
+        catalog.store.unsubscribe(catalog.maintainers["A"].handle)
+        s.modify_value("A1", 99)
+        assert not catalog.check("A").ok
+        catalog.recompute("A")
+        assert catalog.check("A").ok
+
+    def test_check_unknown_view(self, catalog):
+        with pytest.raises(ViewError):
+            catalog.check("nope")
+
+
+class TestQueries:
+    def test_query_through_catalog(self, catalog):
+        answer = catalog.query_oids(
+            "SELECT ROOT.professor X WHERE X.age > 40"
+        )
+        assert answer == {"P1"}
+
+    def test_virtual_views_auto_refreshed(self, catalog):
+        s = catalog.store
+        catalog.define("define view PROFS as: SELECT ROOT.professor X")
+        # One ? step from the view object reaches the members themselves.
+        assert catalog.query_oids("SELECT PROFS.? X") == {"P1", "P2"}
+        # Two steps reach the professors' subobjects.
+        assert catalog.query_oids("SELECT PROFS.?.? X") == {
+            "N1", "A1", "S1", "P3", "N2", "ADD2",
+        }
+        s.add_set("P9", "professor", [])
+        s.insert_edge("ROOT", "P9")
+        # The virtual view refreshes automatically on the next query.
+        catalog.query_oids("SELECT PROFS.? X")
+        assert catalog.virtual_views["PROFS"].contains("P9")
+
+    def test_materialized_view_scoped_query(self, catalog):
+        catalog.define(
+            "define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"
+        )
+        # One step inside the view reaches the delegate itself...
+        assert catalog.query_oids("SELECT YP.? X WITHIN YP") == {"YP.P1"}
+        # ...but unswizzled base OIDs inside delegates are out of scope.
+        assert catalog.query_oids("SELECT YP.?.? X WITHIN YP") == set()
+
+    def test_views_on_views_virtual(self, catalog):
+        catalog.define("define view PROF as: SELECT ROOT.*.professor X")
+        catalog.define("define view STUDENT as: SELECT PROF.?.student X")
+        catalog.query_oids("SELECT STUDENT.? X")
+        assert catalog.virtual_views["STUDENT"].members() == {"P3"}
+
+
+class TestDropView:
+    def test_drop_materialized(self, catalog):
+        catalog.define(
+            "define mview A as: SELECT ROOT.professor X WHERE X.age <= 45"
+        )
+        catalog.drop_view("A")
+        assert "A" not in catalog.materialized_views
+        assert "A" not in catalog.store
+        # Updates after dropping must not crash (listener detached).
+        catalog.store.modify_value("A1", 10)
+
+    def test_drop_virtual(self, catalog):
+        catalog.define("define view V as: SELECT ROOT.professor X")
+        catalog.drop_view("V")
+        assert "V" not in catalog.virtual_views
+        assert "V" not in catalog.store

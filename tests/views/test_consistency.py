@@ -1,0 +1,102 @@
+"""Tests for the consistency checker."""
+
+import pytest
+
+from repro.errors import ViewConsistencyError
+from repro.views import (
+    MaterializedView,
+    ViewDefinition,
+    assert_consistent,
+    check_consistency,
+    populate_view,
+)
+
+YP_DEF = "define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"
+
+
+@pytest.fixture
+def view(person_tree_store) -> MaterializedView:
+    v = MaterializedView(ViewDefinition.parse(YP_DEF), person_tree_store)
+    populate_view(v)
+    return v
+
+
+class TestDetection:
+    def test_fresh_view_consistent(self, view):
+        report = check_consistency(view)
+        assert report.ok
+        assert report.describe() == "consistent"
+
+    def test_missing_member_detected(self, view, person_tree_store):
+        person_tree_store.add_atomic("A2", "age", 10)
+        person_tree_store.insert_edge("P2", "A2")  # no maintainer
+        report = check_consistency(view)
+        assert report.missing == {"P2"}
+        assert not report.ok
+
+    def test_extra_member_detected(self, view, person_tree_store):
+        person_tree_store.modify_value("A1", 99)
+        report = check_consistency(view)
+        assert report.extra == {"P1"}
+
+    def test_stale_value_detected(self, view, person_tree_store):
+        person_tree_store.add_atomic("H", "hobby", "golf")
+        person_tree_store.insert_edge("P1", "H")
+        # Membership unchanged but P1's delegate value is now stale.
+        report = check_consistency(view)
+        assert report.stale_values == {"P1"}
+        assert report.missing == set() and report.extra == set()
+
+    def test_value_check_can_be_disabled(self, view, person_tree_store):
+        person_tree_store.add_atomic("H", "hobby", "golf")
+        person_tree_store.insert_edge("P1", "H")
+        report = check_consistency(view, check_values=False)
+        assert report.ok
+
+    def test_broken_view_object_detected(self, view):
+        view.view_object.children().add("YP.ghost")
+        report = check_consistency(view)
+        assert "YP.ghost" in report.broken_delegates
+
+    def test_describe_lists_problems(self, view, person_tree_store):
+        person_tree_store.modify_value("A1", 99)
+        assert "extra: P1" in check_consistency(view).describe()
+
+
+class TestAssert:
+    def test_assert_passes(self, view):
+        assert_consistent(view)
+
+    def test_assert_raises(self, view, person_tree_store):
+        person_tree_store.modify_value("A1", 99)
+        with pytest.raises(ViewConsistencyError):
+            assert_consistent(view)
+
+
+class TestEditedViews:
+    def test_timestamps_ignored(self, person_tree_store):
+        view = MaterializedView(
+            ViewDefinition.parse(YP_DEF),
+            person_tree_store,
+            annotate_timestamps=True,
+        )
+        populate_view(view)
+        assert check_consistency(view).ok
+
+    def test_swizzled_view_consistent(self, person_tree_store):
+        view = MaterializedView(
+            ViewDefinition.parse(YP_DEF), person_tree_store
+        )
+        populate_view(view)
+        view.swizzle_all()
+        assert check_consistency(view).ok
+
+    def test_stripped_view_needs_value_check_off(self, person_tree_store):
+        view = MaterializedView(
+            ViewDefinition.parse(YP_DEF), person_tree_store
+        )
+        populate_view(view)
+        view.swizzle_all()
+        view.strip_base_references()
+        assert not check_consistency(view).ok
+        assert check_consistency(view, check_values=False).ok

@@ -1,0 +1,213 @@
+"""Tests for materialized views: delegates, swizzling, edits (Section 3.2)."""
+
+import pytest
+
+from repro.gsdb import DatabaseRegistry, ObjectStore
+from repro.views import MaterializedView, SwizzleMode, ViewDefinition
+from repro.views.materialized import TIMESTAMP_LABEL
+
+
+MVJ_DEF = "define mview MVJ as: SELECT ROOT.* X WHERE X.name = 'John'"
+
+
+@pytest.fixture
+def mvj(person_store) -> MaterializedView:
+    view = MaterializedView(ViewDefinition.parse(MVJ_DEF), person_store)
+    view.load_members(["P1", "P3"])
+    return view
+
+
+class TestDelegates:
+    def test_example_4_delegates(self, mvj, person_store):
+        # Figure 3: MVJ.P1 and MVJ.P3 with copied values.
+        assert mvj.members() == {"P1", "P3"}
+        assert mvj.delegates() == {"MVJ.P1", "MVJ.P3"}
+        d = mvj.delegate("P1")
+        assert d.oid == "MVJ.P1"
+        assert d.label == "professor"
+        assert d.children() == {"N1", "A1", "S1", "P3"}  # base OIDs
+
+    def test_view_object_format(self, mvj, person_store):
+        # <MVJ, mview, set, value(MVJ)>
+        view_obj = person_store.get("MVJ")
+        assert view_obj.label == "mview"
+        assert view_obj.children() == {"MVJ.P1", "MVJ.P3"}
+
+    def test_v_insert_idempotent(self, mvj):
+        assert mvj.v_insert("P1") is False  # paper: insertion ignored
+        assert len(mvj) == 2
+
+    def test_v_insert_refreshes_existing(self, mvj, person_store):
+        person_store.add_atomic("X9", "extra", 1)
+        person_store.insert_edge("P1", "X9")
+        mvj.v_insert("P1")
+        assert "X9" in mvj.delegate("P1").children()
+
+    def test_v_delete(self, mvj, person_store):
+        assert mvj.v_delete("P3") is True
+        assert mvj.members() == {"P1"}
+        assert "MVJ.P3" not in person_store
+
+    def test_v_delete_absent_is_noop(self, mvj):
+        assert mvj.v_delete("P4") is False
+
+    def test_refresh_atomic_member(self, person_store):
+        view = MaterializedView(
+            ViewDefinition.parse(
+                "define mview MA as: SELECT ROOT.professor.age X"
+            ),
+            person_store,
+        )
+        view.v_insert("A1")
+        person_store.modify_value("A1", 46)
+        view.refresh("A1")
+        assert view.delegate("A1").value == 46
+
+    def test_refresh_nonmember_false(self, mvj):
+        assert mvj.refresh("P4") is False
+
+    def test_clear(self, mvj):
+        mvj.clear()
+        assert len(mvj) == 0
+        assert mvj.delegates() == set()
+
+    def test_separate_view_store(self, person_store):
+        view_store = ObjectStore()
+        view = MaterializedView(
+            ViewDefinition.parse(MVJ_DEF), person_store, view_store
+        )
+        view.v_insert("P1")
+        assert "MVJ.P1" in view_store
+        assert "MVJ.P1" not in person_store
+
+    def test_registry_registration_enables_scoping(self, person_store):
+        registry = DatabaseRegistry(person_store)
+        MaterializedView(
+            ViewDefinition.parse(MVJ_DEF), person_store, registry=registry
+        )
+        assert "MVJ" in registry.names()
+
+    def test_delegate_counters(self, mvj, person_store):
+        assert person_store.counters.delegates_inserted == 2
+        mvj.v_delete("P1")
+        assert person_store.counters.delegates_deleted == 1
+
+
+class TestSwizzling:
+    """Paper: swizzling changes a base OID to the OID of its delegate."""
+
+    def test_swizzle_all(self, mvj):
+        rewritten = mvj.swizzle_all()
+        # P3 is a member, so the reference inside MVJ.P1 swizzles.
+        assert rewritten == 1
+        assert "MVJ.P3" in mvj.delegate("P1").children()
+        assert "P3" not in mvj.delegate("P1").children()
+        # N1 is not a member: stays a base OID.
+        assert "N1" in mvj.delegate("P1").children()
+
+    def test_swizzling_does_not_affect_query_results(self, mvj, person_store):
+        # Membership via the swizzled edge: MVJ.professor.student.
+        mvj.swizzle_all()
+        registry = DatabaseRegistry(person_store)
+        registry.register("MVJ", "MVJ")
+        from repro.query import QueryEvaluator
+
+        evaluator = QueryEvaluator(registry)
+        answer = evaluator.evaluate_oids(
+            "SELECT MVJ.professor.student X WITHIN MVJ"
+        )
+        assert answer == {"MVJ.P3"}
+
+    def test_unswizzle_round_trip(self, mvj):
+        original = set(mvj.delegate("P1").children())
+        mvj.swizzle_all()
+        mvj.unswizzle_all()
+        assert mvj.delegate("P1").children() == original
+
+    def test_eager_mode_swizzles_new_members(self, person_store):
+        view = MaterializedView(
+            ViewDefinition.parse(MVJ_DEF),
+            person_store,
+            swizzle=SwizzleMode.EAGER,
+        )
+        view.v_insert("P1")
+        view.v_insert("P3")  # later member: P1's reference must update
+        assert "MVJ.P3" in view.delegate("P1").children()
+
+    def test_eager_mode_unswizzles_on_leave(self, person_store):
+        view = MaterializedView(
+            ViewDefinition.parse(MVJ_DEF),
+            person_store,
+            swizzle=SwizzleMode.EAGER,
+        )
+        view.v_insert("P1")
+        view.v_insert("P3")
+        view.v_delete("P3")
+        assert "P3" in view.delegate("P1").children()
+        assert "MVJ.P3" not in view.delegate("P1").children()
+
+    def test_expected_value_accounts_for_swizzling(self, mvj):
+        mvj.swizzle_all()
+        expected = mvj.expected_delegate_value("P1")
+        assert "MVJ.P3" in expected
+
+
+class TestEdits:
+    def test_strip_base_references(self, mvj):
+        mvj.swizzle_all()
+        removed = mvj.strip_base_references()
+        # N1, A1, S1 from MVJ.P1 (P3 was swizzled) + N3, A3, M3 from MVJ.P3.
+        assert removed == 6
+        assert mvj.delegate("P1").children() == {"MVJ.P3"}
+        assert mvj.delegate("P3").children() == set()
+
+    def test_strip_all_references_hides_every_edge(self, mvj):
+        removed = mvj.strip_all_references()
+        assert removed == 7  # 4 children of P1 + 3 of P3
+        assert mvj.delegate("P1").children() == set()
+        assert mvj.delegate("P3").children() == set()
+
+    def test_edge_visibility_spectrum(self, mvj):
+        # show-all (default) -> members-only -> hidden.
+        assert "N1" in mvj.delegate("P1").children()
+        mvj.swizzle_all()
+        mvj.strip_base_references()
+        assert mvj.delegate("P1").children() == {"MVJ.P3"}
+        mvj.strip_all_references()
+        assert mvj.delegate("P1").children() == set()
+
+    def test_timestamps_attached(self, person_store):
+        view = MaterializedView(
+            ViewDefinition.parse(MVJ_DEF),
+            person_store,
+            annotate_timestamps=True,
+        )
+        view.v_insert("P1")
+        ts_oid = view.timestamp_oid("P1")
+        assert ts_oid in person_store
+        assert person_store.get(ts_oid).label == TIMESTAMP_LABEL
+        assert ts_oid in view.delegate("P1").children()
+        assert view.annotation_oids() == {ts_oid}
+
+    def test_timestamp_advances_on_refresh(self, person_store):
+        view = MaterializedView(
+            ViewDefinition.parse(MVJ_DEF),
+            person_store,
+            annotate_timestamps=True,
+        )
+        view.v_insert("P1")
+        first = person_store.get(view.timestamp_oid("P1")).value
+        view.refresh("P1")
+        second = person_store.get(view.timestamp_oid("P1")).value
+        assert second > first
+
+    def test_timestamp_removed_with_delegate(self, person_store):
+        view = MaterializedView(
+            ViewDefinition.parse(MVJ_DEF),
+            person_store,
+            annotate_timestamps=True,
+        )
+        view.v_insert("P1")
+        ts_oid = view.timestamp_oid("P1")
+        view.v_delete("P1")
+        assert ts_oid not in person_store

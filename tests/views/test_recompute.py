@@ -1,0 +1,103 @@
+"""Tests for full view (re)computation — the baseline of Section 4.4."""
+
+import pytest
+
+from repro.errors import QueryEvaluationError
+from repro.views import (
+    MaterializedView,
+    ViewDefinition,
+    compute_view_members,
+    populate_view,
+    recompute_view,
+)
+
+YP_DEF = "define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45"
+
+
+class TestComputeMembers:
+    def test_simple_view(self, person_tree_store):
+        d = ViewDefinition.parse(YP_DEF)
+        assert compute_view_members(d, person_tree_store) == {"P1"}
+
+    def test_wildcard_view(self, person_store):
+        d = ViewDefinition.parse(
+            "define mview V as: SELECT ROOT.* X WHERE X.name = 'John'"
+        )
+        assert compute_view_members(d, person_store) == {"P1", "P3"}
+
+    def test_scoped_view_requires_registry(self, person_store):
+        d = ViewDefinition.parse(
+            "define mview V as: SELECT ROOT.* X "
+            "WHERE X.name = 'John' WITHIN PERSON"
+        )
+        with pytest.raises(QueryEvaluationError):
+            compute_view_members(d, person_store)
+
+    def test_scoped_view_with_registry(self, person_registry):
+        d = ViewDefinition.parse(
+            "define mview V as: SELECT ROOT.* X "
+            "WHERE X.name = 'John' WITHIN PERSON"
+        )
+        assert compute_view_members(
+            d, person_registry.store, registry=person_registry
+        ) == {"P1", "P3"}
+
+    def test_entry_resolution_via_registry(self, person_registry):
+        d = ViewDefinition.parse("define mview V as: SELECT PERSON.? X")
+        members = compute_view_members(
+            d, person_registry.store, registry=person_registry
+        )
+        assert "P1" in members
+
+    def test_unknown_entry(self, person_store):
+        d = ViewDefinition.parse("define mview V as: SELECT NOPE.a X")
+        with pytest.raises(QueryEvaluationError):
+            compute_view_members(d, person_store)
+
+
+class TestPopulateAndRecompute:
+    def test_populate(self, person_tree_store):
+        view = MaterializedView(
+            ViewDefinition.parse(YP_DEF), person_tree_store
+        )
+        count = populate_view(view)
+        assert count == 1
+        assert view.members() == {"P1"}
+
+    def test_recompute_inserts_and_deletes(self, person_tree_store):
+        s = person_tree_store
+        view = MaterializedView(ViewDefinition.parse(YP_DEF), s)
+        populate_view(view)
+        s.modify_value("A1", 99)  # no maintainer attached: view stale
+        s.add_atomic("A2", "age", 10)
+        s.insert_edge("P2", "A2")
+        inserted, deleted = recompute_view(view)
+        assert (inserted, deleted) == (1, 1)
+        assert view.members() == {"P2"}
+
+    def test_recompute_refreshes_survivors(self, person_tree_store):
+        s = person_tree_store
+        view = MaterializedView(ViewDefinition.parse(YP_DEF), s)
+        populate_view(view)
+        s.add_atomic("H", "hobby", "golf")
+        s.insert_edge("P1", "H")
+        recompute_view(view)
+        assert "H" in view.delegate("P1").children()
+
+    def test_recompute_counted(self, person_tree_store):
+        view = MaterializedView(
+            ViewDefinition.parse(YP_DEF), person_tree_store
+        )
+        populate_view(view)
+        before = person_tree_store.counters.view_recomputations
+        recompute_view(view)
+        recompute_view(view)
+        assert person_tree_store.counters.view_recomputations == before + 2
+
+    def test_populate_not_counted_as_recomputation(self, person_tree_store):
+        view = MaterializedView(
+            ViewDefinition.parse(YP_DEF), person_tree_store
+        )
+        before = person_tree_store.counters.view_recomputations
+        populate_view(view)
+        assert person_tree_store.counters.view_recomputations == before

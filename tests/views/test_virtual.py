@@ -1,0 +1,88 @@
+"""Tests for virtual views (paper Section 3.1)."""
+
+import pytest
+
+from repro.gsdb import DatabaseRegistry
+from repro.query import QueryEvaluator
+from repro.views import ViewDefinition, VirtualView
+
+
+@pytest.fixture
+def registry(person_registry) -> DatabaseRegistry:
+    return person_registry
+
+
+class TestVirtualView:
+    def test_example_3_vj(self, registry):
+        view = VirtualView(
+            ViewDefinition.parse(
+                "define view VJ as: SELECT ROOT.* X "
+                "WHERE X.name = 'John' WITHIN PERSON"
+            ),
+            registry,
+        )
+        # "objects P1 and P3 are selected, so value(VJ) = {P1, P3}"
+        assert view.members() == {"P1", "P3"}
+        assert view.contains("P1")
+        assert len(view) == 2
+
+    def test_view_object_registered(self, registry, person_store):
+        VirtualView(
+            ViewDefinition.parse("define view V1 as: SELECT ROOT.professor X"),
+            registry,
+        )
+        assert "V1" in person_store
+        assert person_store.get("V1").label == "view"
+        assert "V1" in registry.names()
+
+    def test_refresh_tracks_base_changes(self, registry, person_store):
+        view = VirtualView(
+            ViewDefinition.parse("define view V2 as: SELECT ROOT.professor X"),
+            registry,
+        )
+        assert view.members() == {"P1", "P2"}
+        person_store.add_set("P9", "professor", [])
+        person_store.insert_edge("ROOT", "P9")
+        assert view.members() == {"P1", "P2"}  # stale until refresh
+        view.refresh()
+        assert view.members() == {"P1", "P2", "P9"}
+
+    def test_query_constrained_by_view(self, registry):
+        # Paper query 3.3: SELECT ROOT.professor X ANS INT VJ -> {P1}.
+        VirtualView(
+            ViewDefinition.parse(
+                "define view VJ as: SELECT ROOT.* X "
+                "WHERE X.name = 'John' WITHIN PERSON"
+            ),
+            registry,
+        )
+        evaluator = QueryEvaluator(registry)
+        assert evaluator.evaluate_oids(
+            "SELECT ROOT.professor X ANS INT VJ"
+        ) == {"P1"}
+
+    def test_views_on_views_expression_3_4(self, registry):
+        # PROF selects professors anywhere; STUDENT their students.
+        VirtualView(
+            ViewDefinition.parse(
+                "define view PROF as: SELECT ROOT.*.professor X"
+            ),
+            registry,
+        )
+        student = VirtualView(
+            ViewDefinition.parse(
+                "define view STUDENT as: SELECT PROF.?.student X"
+            ),
+            registry,
+        )
+        assert student.members() == {"P3"}
+
+    def test_no_auto_refresh(self, registry):
+        view = VirtualView(
+            ViewDefinition.parse("define view V3 as: SELECT ROOT.professor X"),
+            registry,
+            auto_refresh=False,
+        )
+        assert view.members() == set()
+        view.refresh()
+        assert view.members() == {"P1", "P2"}

@@ -1,0 +1,145 @@
+"""Tests for the auxiliary cache (paper Section 5.2, Example 10)."""
+
+import pytest
+
+from repro.warehouse import (
+    CachePolicy,
+    Monitor,
+    ReportingLevel,
+    Source,
+    SourceLink,
+)
+from repro.warehouse.caching import AuxiliaryCache
+
+
+@pytest.fixture
+def link(person_tree_store) -> SourceLink:
+    return SourceLink(Source("S1", person_tree_store, "ROOT"))
+
+
+def make_cache(link, policy, labels=("professor", "age")):
+    cache = AuxiliaryCache("ROOT", tuple(labels), policy, link)
+    cache.seed()
+    return cache
+
+
+class TestSeeding:
+    def test_example_10_region(self, link):
+        # Cache of ROOT + professors + their age objects.
+        cache = make_cache(link, CachePolicy.FULL)
+        assert set(cache.entries) == {"ROOT", "P1", "P2", "A1"}
+        assert cache.entries["A1"].depth == 2
+        assert cache.entries["P1"].parent == "ROOT"
+
+    def test_full_policy_keeps_values(self, link):
+        cache = make_cache(link, CachePolicy.FULL)
+        assert cache.entries["A1"].value == 45
+
+    def test_structure_policy_drops_values(self, link):
+        cache = make_cache(link, CachePolicy.STRUCTURE)
+        assert cache.entries["A1"].value is None
+        # But structure (children, labels) is kept.
+        assert "A1" in cache.entries["P1"].children
+
+    def test_none_policy_empty(self, link):
+        cache = make_cache(link, CachePolicy.NONE)
+        assert len(cache) == 0
+
+
+class TestLookups:
+    def test_hit_miss_counters(self, link):
+        cache = make_cache(link, CachePolicy.FULL)
+        cache.lookup("P1")
+        cache.lookup("nope")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_root_path_reconstruction(self, link):
+        cache = make_cache(link, CachePolicy.FULL)
+        chain, labels = cache.root_path("A1")
+        assert chain == ["ROOT", "P1", "A1"]
+        assert labels == ["professor", "age"]
+        assert cache.root_path("N1") is None
+
+    def test_region_descendants_complete(self, link):
+        cache = make_cache(link, CachePolicy.FULL)
+        entries = cache.region_descendants("P1", ("age",))
+        assert [e.oid for e in entries] == ["A1"]
+        # Full suffix from the root:
+        entries = cache.region_descendants("ROOT", ("professor", "age"))
+        assert {e.oid for e in entries} == {"A1"}
+
+    def test_region_descendants_misaligned(self, link):
+        cache = make_cache(link, CachePolicy.FULL)
+        assert cache.region_descendants("P1", ("name",)) is None
+        assert cache.region_descendants("zzz", ("age",)) is None
+        assert cache.region_descendants("A1", ("age",)) is None  # too deep
+
+
+class TestMaintenance:
+    def _notify(self, source, level, cache):
+        monitor = Monitor(source, level)
+        monitor.register(cache.apply_notification)
+        return monitor
+
+    def test_insert_admits_region_child(self, link, person_tree_store):
+        cache = make_cache(link, CachePolicy.FULL)
+        self._notify(link.source, ReportingLevel.WITH_CONTENTS, cache)
+        person_tree_store.add_atomic("A2", "age", 40)
+        person_tree_store.insert_edge("P2", "A2")
+        assert "A2" in cache.entries
+        assert cache.entries["A2"].value == 40
+        assert "A2" in cache.entries["P2"].children
+
+    def test_insert_out_of_region_child_not_admitted(
+        self, link, person_tree_store
+    ):
+        cache = make_cache(link, CachePolicy.FULL)
+        self._notify(link.source, ReportingLevel.WITH_CONTENTS, cache)
+        person_tree_store.add_atomic("Z", "zipcode", 1)
+        person_tree_store.insert_edge("P2", "Z")
+        assert "Z" not in cache.entries
+        assert "Z" in cache.entries["P2"].children  # structure tracked
+
+    def test_insert_at_level_1_fetches_contents(
+        self, link, person_tree_store
+    ):
+        cache = make_cache(link, CachePolicy.FULL)
+        self._notify(link.source, ReportingLevel.OIDS_ONLY, cache)
+        before = link.log.queries
+        person_tree_store.add_atomic("A2", "age", 40)
+        person_tree_store.insert_edge("P2", "A2")
+        assert "A2" in cache.entries
+        assert link.log.queries > before  # had to fetch the payload
+
+    def test_subtree_graft_extends_region(self, link, person_tree_store):
+        s = person_tree_store
+        cache = make_cache(link, CachePolicy.FULL)
+        self._notify(link.source, ReportingLevel.WITH_CONTENTS, cache)
+        s.add_atomic("A5", "age", 30)
+        s.add_set("P5", "professor", ["A5"])
+        s.insert_edge("ROOT", "P5")
+        assert "P5" in cache.entries
+        assert "A5" in cache.entries  # pulled in by _extend_below
+        assert cache.entries["A5"].depth == 2
+
+    def test_delete_evicts_subtree(self, link, person_tree_store):
+        cache = make_cache(link, CachePolicy.FULL)
+        self._notify(link.source, ReportingLevel.WITH_CONTENTS, cache)
+        person_tree_store.delete_edge("ROOT", "P1")
+        assert "P1" not in cache.entries
+        assert "A1" not in cache.entries
+        assert "P2" in cache.entries
+
+    def test_modify_updates_cached_value(self, link, person_tree_store):
+        cache = make_cache(link, CachePolicy.FULL)
+        self._notify(link.source, ReportingLevel.WITH_CONTENTS, cache)
+        person_tree_store.modify_value("A1", 46)
+        assert cache.entries["A1"].value == 46
+
+    def test_modify_ignored_under_structure_policy(
+        self, link, person_tree_store
+    ):
+        cache = make_cache(link, CachePolicy.STRUCTURE)
+        self._notify(link.source, ReportingLevel.WITH_CONTENTS, cache)
+        person_tree_store.modify_value("A1", 46)
+        assert cache.entries["A1"].value is None

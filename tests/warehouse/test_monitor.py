@@ -1,0 +1,84 @@
+"""Tests for source monitors and the three reporting levels."""
+
+import pytest
+
+from repro.gsdb import Insert
+from repro.warehouse import Monitor, ReportingLevel, Source
+
+
+@pytest.fixture
+def source(person_tree_store) -> Source:
+    return Source("S1", person_tree_store, "ROOT")
+
+
+def capture(source, level):
+    monitor = Monitor(source, level)
+    received = []
+    monitor.register(received.append)
+    return monitor, received
+
+
+class TestLevel1:
+    def test_oids_only(self, source, person_tree_store):
+        _, received = capture(source, ReportingLevel.OIDS_ONLY)
+        person_tree_store.modify_value("A1", 46)
+        (n,) = received
+        assert n.update.directly_affected == ("A1",)
+        assert n.contents == () and n.paths == ()
+        assert n.source_id == "S1"
+
+
+class TestLevel2:
+    def test_contents_included(self, source, person_tree_store):
+        _, received = capture(source, ReportingLevel.WITH_CONTENTS)
+        person_tree_store.add_atomic("A2", "age", 40)
+        person_tree_store.insert_edge("P2", "A2")
+        (n,) = received
+        assert isinstance(n.update, Insert)
+        oids = {p.oid for p in n.contents}
+        assert oids == {"P2", "A2"}
+        assert n.content_for("A2").value == 40
+        # Post-update state: P2's shipped value includes the new child.
+        assert "A2" in n.content_for("P2").value
+
+    def test_modify_ships_new_value(self, source, person_tree_store):
+        _, received = capture(source, ReportingLevel.WITH_CONTENTS)
+        person_tree_store.modify_value("A1", 46)
+        (n,) = received
+        assert n.content_for("A1").value == 46
+
+
+class TestLevel3:
+    def test_paths_included(self, source, person_tree_store):
+        _, received = capture(source, ReportingLevel.WITH_PATHS)
+        person_tree_store.add_atomic("A2", "age", 40)
+        person_tree_store.insert_edge("P2", "A2")
+        (n,) = received
+        path = n.path_for("A2")
+        assert path.oid_chain == ("ROOT", "P2", "A2")
+        assert path.labels == ("professor", "age")
+        parent_path = n.path_for("P2")
+        assert parent_path.oid_chain == ("ROOT", "P2")
+
+    def test_detached_object_has_no_path(self, source, person_tree_store):
+        _, received = capture(source, ReportingLevel.WITH_PATHS)
+        person_tree_store.delete_edge("ROOT", "P1")
+        (n,) = received
+        assert n.path_for("ROOT") is not None
+        assert n.path_for("P1") is None  # detached post-update
+
+
+class TestSequencing:
+    def test_sequence_numbers_increase(self, source, person_tree_store):
+        _, received = capture(source, ReportingLevel.OIDS_ONLY)
+        person_tree_store.modify_value("A1", 46)
+        person_tree_store.modify_value("A1", 47)
+        assert [n.sequence for n in received] == [1, 2]
+
+    def test_multiple_sinks(self, source, person_tree_store):
+        monitor = Monitor(source, ReportingLevel.OIDS_ONLY)
+        first, second = [], []
+        monitor.register(first.append)
+        monitor.register(second.append)
+        person_tree_store.modify_value("A1", 46)
+        assert len(first) == len(second) == 1

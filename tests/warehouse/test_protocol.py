@@ -1,0 +1,96 @@
+"""Tests for protocol messages and traffic accounting."""
+
+from repro.gsdb import Insert, Modify, Object
+from repro.warehouse import (
+    MessageLog,
+    ObjectPayload,
+    PathPayload,
+    QueryAnswer,
+    QueryKind,
+    ReportingLevel,
+    SourceQuery,
+    UpdateNotification,
+)
+from repro.warehouse.protocol import payload_from_object
+
+
+class TestPayloads:
+    def test_payload_from_set_object(self):
+        obj = Object.set_object("P1", "professor", ["B", "A"])
+        payload = payload_from_object(obj)
+        assert payload.value == ("A", "B")
+        assert payload.type == "set"
+
+    def test_payload_from_atomic(self):
+        payload = payload_from_object(Object.atomic("A1", "age", 45))
+        assert payload.value == 45
+
+    def test_sizes_positive(self):
+        payload = ObjectPayload("A1", "age", "integer", 45)
+        assert payload.estimated_size() > 0
+        path = PathPayload("A1", ("ROOT", "P1", "A1"), ("professor", "age"))
+        assert path.estimated_size() > 0
+
+
+class TestNotifications:
+    def test_level_ordering(self):
+        assert ReportingLevel.OIDS_ONLY < ReportingLevel.WITH_CONTENTS
+        assert ReportingLevel.WITH_PATHS == 3
+
+    def test_content_and_path_lookup(self):
+        contents = (ObjectPayload("A2", "age", "integer", 40),)
+        paths = (PathPayload("A2", ("ROOT", "P2", "A2"), ("professor", "age")),)
+        notification = UpdateNotification(
+            source_id="S1",
+            sequence=1,
+            update=Insert("P2", "A2"),
+            level=ReportingLevel.WITH_PATHS,
+            contents=contents,
+            paths=paths,
+        )
+        assert notification.content_for("A2").value == 40
+        assert notification.content_for("zz") is None
+        assert notification.path_for("A2").labels == ("professor", "age")
+        assert notification.path_for("zz") is None
+
+    def test_richer_levels_cost_more_bytes(self):
+        update = Modify("A1", 45, 46)
+        lean = UpdateNotification("S1", 1, update, ReportingLevel.OIDS_ONLY)
+        rich = UpdateNotification(
+            "S1", 1, update, ReportingLevel.WITH_CONTENTS,
+            contents=(ObjectPayload("A1", "age", "integer", 46),),
+        )
+        assert rich.estimated_size() > lean.estimated_size()
+
+
+class TestMessageLog:
+    def test_records_and_totals(self):
+        log = MessageLog()
+        notification = UpdateNotification(
+            "S1", 1, Modify("A1", 45, 46), ReportingLevel.OIDS_ONLY
+        )
+        log.record_notification(notification)
+        query = SourceQuery(QueryKind.FETCH_OBJECT, "A1")
+        answer = QueryAnswer(
+            objects=(ObjectPayload("A1", "age", "integer", 46),)
+        )
+        log.record_query(query, answer)
+        assert log.notifications == 1
+        assert log.queries == 1
+        assert log.by_kind == {"fetch_object": 1}
+        assert log.total_bytes == (
+            log.notification_bytes + log.query_bytes + log.answers_bytes
+        )
+
+    def test_snapshot_delta(self):
+        log = MessageLog()
+        query = SourceQuery(QueryKind.FETCH_OBJECT, "A1")
+        log.record_query(query, QueryAnswer())
+        snap = log.snapshot()
+        log.record_query(query, QueryAnswer())
+        log.record_query(
+            SourceQuery(QueryKind.PATH_TO_ROOT, "A1"), QueryAnswer()
+        )
+        delta = log.delta_since(snap)
+        assert delta.queries == 2
+        assert delta.by_kind == {"fetch_object": 1, "path_to_root": 1}

@@ -1,0 +1,155 @@
+"""Unit tests for the warehouse's remote resolution machinery."""
+
+import pytest
+
+from repro.errors import UnknownObjectError
+from repro.gsdb import Insert, Modify
+from repro.instrumentation import CostCounters
+from repro.warehouse import (
+    CachePolicy,
+    ObjectPayload,
+    PathPayload,
+    ReportingLevel,
+    Source,
+    SourceLink,
+    UpdateNotification,
+)
+from repro.warehouse.caching import AuxiliaryCache
+from repro.warehouse.warehouse import RemoteBaseStore, RemoteParentIndex
+
+
+@pytest.fixture
+def link(person_tree_store) -> SourceLink:
+    return SourceLink(Source("S1", person_tree_store, "ROOT"))
+
+
+def notification(update, *, contents=(), paths=(), level=2):
+    return UpdateNotification(
+        source_id="S1",
+        sequence=1,
+        update=update,
+        level=ReportingLevel(level),
+        contents=tuple(contents),
+        paths=tuple(paths),
+    )
+
+
+class TestRemoteBaseStore:
+    def test_seed_satisfies_without_query(self, link):
+        store = RemoteBaseStore(link, None, CostCounters())
+        payload = ObjectPayload("A2", "age", "integer", 40)
+        store.begin_update(
+            notification(Insert("P2", "A2"), contents=[payload])
+        )
+        obj = store.get("A2")
+        assert obj.value == 40
+        assert link.log.queries == 0
+
+    def test_fetch_memoized_per_update(self, link):
+        store = RemoteBaseStore(link, None, CostCounters())
+        store.begin_update(notification(Modify("A1", 45, 45), level=1))
+        store.get("A1")
+        store.get("A1")
+        assert link.log.queries == 1  # second read served from memo
+
+    def test_negative_cache(self, link):
+        store = RemoteBaseStore(link, None, CostCounters())
+        store.begin_update(notification(Modify("A1", 45, 45), level=1))
+        assert store.get_optional("ghost") is None
+        assert store.get_optional("ghost") is None
+        assert link.log.queries == 1
+
+    def test_begin_update_clears_memo(self, link):
+        store = RemoteBaseStore(link, None, CostCounters())
+        store.begin_update(notification(Modify("A1", 45, 45), level=1))
+        store.get("A1")
+        store.begin_update(notification(Modify("A1", 45, 45), level=1))
+        store.get("A1")
+        assert link.log.queries == 2
+
+    def test_get_raises_on_missing(self, link):
+        store = RemoteBaseStore(link, None, CostCounters())
+        store.begin_update(notification(Modify("A1", 45, 45), level=1))
+        with pytest.raises(UnknownObjectError):
+            store.get("ghost")
+
+    def test_contains(self, link):
+        store = RemoteBaseStore(link, None, CostCounters())
+        store.begin_update(notification(Modify("A1", 45, 45), level=1))
+        assert "A1" in store
+        assert "ghost" not in store
+
+    def test_structure_cache_fetches_atomic_values(self, link):
+        cache = AuxiliaryCache(
+            "ROOT", ("professor", "age"), CachePolicy.STRUCTURE, link
+        )
+        cache.seed()
+        queries_after_seed = link.log.queries
+        store = RemoteBaseStore(link, cache, CostCounters())
+        store.begin_update(notification(Modify("A1", 45, 45), level=1))
+        # Set object: served from cache.
+        assert store.get("P1").is_set
+        assert link.log.queries == queries_after_seed
+        # Atomic value missing under STRUCTURE: one fetch.
+        assert store.get("A1").value == 45
+        assert link.log.queries == queries_after_seed + 1
+
+    def test_full_cache_serves_values(self, link):
+        cache = AuxiliaryCache(
+            "ROOT", ("professor", "age"), CachePolicy.FULL, link
+        )
+        cache.seed()
+        queries_after_seed = link.log.queries
+        store = RemoteBaseStore(link, cache, CostCounters())
+        store.begin_update(notification(Modify("A1", 45, 45), level=1))
+        assert store.get("A1").value == 45
+        assert link.log.queries == queries_after_seed
+
+
+class TestRemoteParentIndex:
+    def test_path_payload_hints(self, link):
+        index = RemoteParentIndex(link, None)
+        index.begin_update(
+            notification(
+                Modify("A1", 45, 46),
+                paths=[
+                    PathPayload(
+                        "A1", ("ROOT", "P1", "A1"), ("professor", "age")
+                    )
+                ],
+                level=3,
+            )
+        )
+        assert index.parent("A1") == "P1"
+        assert index.parent("P1") == "ROOT"
+        assert link.log.queries == 0
+
+    def test_fallback_to_fetch_parents(self, link):
+        index = RemoteParentIndex(link, None)
+        index.begin_update(notification(Modify("A1", 45, 46), level=1))
+        assert index.parent("A1") == "P1"
+        assert link.log.queries == 1
+        assert index.parent("A1") == "P1"  # hint cached
+        assert link.log.queries == 1
+
+    def test_cache_provides_parents(self, link):
+        cache = AuxiliaryCache(
+            "ROOT", ("professor", "age"), CachePolicy.FULL, link
+        )
+        cache.seed()
+        queries_after_seed = link.log.queries
+        index = RemoteParentIndex(link, cache)
+        index.begin_update(notification(Modify("A1", 45, 46), level=1))
+        assert index.parent("A1") == "P1"
+        assert link.log.queries == queries_after_seed
+
+    def test_root_has_no_parent(self, link):
+        index = RemoteParentIndex(link, None)
+        index.begin_update(notification(Modify("A1", 45, 46), level=1))
+        assert index.parent("ROOT") is None
+
+    def test_parents_set_form(self, link):
+        index = RemoteParentIndex(link, None)
+        index.begin_update(notification(Modify("A1", 45, 46), level=1))
+        assert index.parents("A1") == {"P1"}
+        assert index.parents("ROOT") == set()

@@ -1,0 +1,61 @@
+"""Tests for path ('schema') knowledge screening (paper Section 5.2)."""
+
+from repro.paths import PathExpression
+from repro.warehouse import PathKnowledge
+
+e = PathExpression.parse
+
+
+class TestNeverFollows:
+    def test_forbid_and_query(self):
+        k = PathKnowledge()
+        k.forbid("student", "salary")
+        assert not k.may_follow("student", "salary")
+        assert k.may_follow("student", "age")
+        assert k.may_follow("professor", "salary")
+
+    def test_constraints_copy(self):
+        k = PathKnowledge()
+        k.forbid("a", "b")
+        constraints = k.constraints()
+        constraints["a"].add("c")
+        assert k.may_follow("a", "c")  # internal state unchanged
+
+
+class TestScreening:
+    def test_paper_example_st_view(self):
+        # View ST: SELECT ROOT.student.? — a salary modify is irrelevant
+        # when students never have salary children.
+        k = PathKnowledge()
+        k.forbid("student", "salary")
+        expression = e("student.?")
+        assert not k.label_feasible_on(expression, "salary")
+        assert k.label_feasible_on(expression, "age")
+        assert k.label_feasible_on(expression, "student")
+
+    def test_constant_path_feasibility(self):
+        k = PathKnowledge()
+        k.forbid("professor", "age")
+        assert not k.label_feasible_on(e("professor.age"), "age")
+        # Without the constraint it is feasible.
+        assert PathKnowledge().label_feasible_on(e("professor.age"), "age")
+
+    def test_label_not_on_path_infeasible(self):
+        k = PathKnowledge()
+        assert not k.label_feasible_on(e("professor.age"), "salary")
+
+    def test_unknown_predecessor_is_sound(self):
+        # '?' predecessor: parent label unknown, must stay feasible.
+        k = PathKnowledge()
+        k.forbid("student", "salary")
+        assert k.label_feasible_on(e("?.salary"), "salary")
+
+    def test_star_predecessor_is_sound(self):
+        k = PathKnowledge()
+        k.forbid("student", "salary")
+        assert k.label_feasible_on(e("student.*.salary"), "salary")
+
+    def test_first_position_always_feasible(self):
+        k = PathKnowledge()
+        k.forbid("x", "student")
+        assert k.label_feasible_on(e("student.age"), "student")

@@ -1,0 +1,89 @@
+"""Tests for sources and their query service."""
+
+import pytest
+
+from repro.errors import CapabilityError
+from repro.warehouse import (
+    QueryKind,
+    Source,
+    SourceCapability,
+    SourceQuery,
+)
+
+
+@pytest.fixture
+def source(person_tree_store) -> Source:
+    return Source("S1", person_tree_store, "ROOT")
+
+
+@pytest.fixture
+def weak_source(person_tree_store) -> Source:
+    return Source(
+        "S1", person_tree_store, "ROOT",
+        capability=SourceCapability.FETCH_ONLY,
+    )
+
+
+class TestFetchQueries:
+    def test_fetch_object(self, source):
+        answer = source.serve(SourceQuery(QueryKind.FETCH_OBJECT, "A1"))
+        (payload,) = answer.objects
+        assert (payload.oid, payload.label, payload.value) == (
+            "A1", "age", 45,
+        )
+
+    def test_fetch_missing_object(self, source):
+        answer = source.serve(SourceQuery(QueryKind.FETCH_OBJECT, "zz"))
+        assert answer.objects == ()
+
+    def test_fetch_parents(self, source):
+        answer = source.serve(SourceQuery(QueryKind.FETCH_PARENTS, "A1"))
+        assert [p.oid for p in answer.objects] == ["P1"]
+
+    def test_fetch_parents_of_root(self, source):
+        answer = source.serve(SourceQuery(QueryKind.FETCH_PARENTS, "ROOT"))
+        assert answer.objects == ()
+
+
+class TestPathQueries:
+    def test_path_from(self, source):
+        answer = source.serve(
+            SourceQuery(
+                QueryKind.PATH_FROM, "ROOT", labels=("professor", "age")
+            )
+        )
+        assert [p.oid for p in answer.objects] == ["A1"]
+
+    def test_path_to_root(self, source):
+        answer = source.serve(SourceQuery(QueryKind.PATH_TO_ROOT, "A3"))
+        assert answer.path.oid_chain == ("ROOT", "P1", "P3", "A3")
+        assert answer.path.labels == ("professor", "student", "age")
+
+    def test_path_to_root_of_root(self, source):
+        answer = source.serve(SourceQuery(QueryKind.PATH_TO_ROOT, "ROOT"))
+        assert answer.path.oid_chain == ("ROOT",)
+        assert answer.path.labels == ()
+
+    def test_path_to_root_unreachable(self, source, person_tree_store):
+        person_tree_store.delete_edge("ROOT", "P1")
+        answer = source.serve(SourceQuery(QueryKind.PATH_TO_ROOT, "A1"))
+        assert answer.path is None
+
+
+class TestCapabilities:
+    def test_weak_source_serves_fetches(self, weak_source):
+        answer = weak_source.serve(SourceQuery(QueryKind.FETCH_OBJECT, "A1"))
+        assert answer.objects
+
+    def test_weak_source_rejects_path_queries(self, weak_source):
+        with pytest.raises(CapabilityError):
+            weak_source.serve(SourceQuery(QueryKind.PATH_TO_ROOT, "A1"))
+        with pytest.raises(CapabilityError):
+            weak_source.serve(
+                SourceQuery(QueryKind.PATH_FROM, "ROOT", labels=("age",))
+            )
+
+    def test_queries_served_counted(self, source):
+        source.serve(SourceQuery(QueryKind.FETCH_OBJECT, "A1"))
+        source.serve(SourceQuery(QueryKind.FETCH_OBJECT, "A1"))
+        assert source.queries_served == 2

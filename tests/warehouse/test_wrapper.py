@@ -1,0 +1,81 @@
+"""Tests for the source link and capability-aware decomposition."""
+
+import pytest
+
+from repro.warehouse import Source, SourceCapability, SourceLink
+
+
+@pytest.fixture
+def strong_link(person_tree_store) -> SourceLink:
+    return SourceLink(Source("S1", person_tree_store, "ROOT"))
+
+
+@pytest.fixture
+def weak_link(person_tree_store) -> SourceLink:
+    return SourceLink(
+        Source(
+            "S1", person_tree_store, "ROOT",
+            capability=SourceCapability.FETCH_ONLY,
+        )
+    )
+
+
+class TestStrongSource:
+    def test_path_from_single_query(self, strong_link):
+        payloads = strong_link.path_from("ROOT", ("professor", "age"))
+        assert [p.oid for p in payloads] == ["A1"]
+        assert strong_link.log.queries == 1
+
+    def test_path_to_root_single_query(self, strong_link):
+        payload = strong_link.path_to_root("A3")
+        assert payload.labels == ("professor", "student", "age")
+        assert strong_link.log.queries == 1
+
+    def test_fetch_object(self, strong_link):
+        assert strong_link.fetch_object("A1").value == 45
+        assert strong_link.fetch_object("nope") is None
+
+    def test_counters_charged(self, strong_link):
+        strong_link.fetch_object("A1")
+        assert strong_link.counters.source_queries == 1
+        assert strong_link.counters.messages_sent == 2
+        assert strong_link.counters.bytes_sent > 0
+
+
+class TestWeakSourceDecomposition:
+    """Section 5.1: 'evaluating one function may involve many complex
+    interactions' on a limited source."""
+
+    def test_path_from_decomposes_to_many_fetches(self, weak_link):
+        payloads = weak_link.path_from("ROOT", ("professor", "age"))
+        assert [p.oid for p in payloads] == ["A1"]
+        # Fetch ROOT + its 3 children + P1/P2's 6 children >= 8 queries.
+        assert weak_link.log.queries >= 8
+        assert set(weak_link.log.by_kind) == {"fetch_object"}
+
+    def test_path_to_root_decomposes(self, weak_link):
+        payload = weak_link.path_to_root("A3")
+        assert payload.oid_chain == ("ROOT", "P1", "P3", "A3")
+        # Per chain step: fetch_object + fetch_parents.
+        assert weak_link.log.queries == 6
+        assert weak_link.log.by_kind["fetch_parents"] == 3
+
+    def test_weak_costs_more_than_strong(self, person_tree_store):
+        strong = SourceLink(Source("A", person_tree_store, "ROOT"))
+        weak = SourceLink(
+            Source(
+                "B", person_tree_store, "ROOT",
+                capability=SourceCapability.FETCH_ONLY,
+            )
+        )
+        strong.path_from("ROOT", ("professor", "age"))
+        weak.path_from("ROOT", ("professor", "age"))
+        assert weak.log.queries > strong.log.queries
+
+    def test_missing_target(self, weak_link):
+        assert weak_link.path_from("nope", ("a",)) == ()
+        assert weak_link.path_to_root("nope") is None
+
+    def test_detached_path_to_root(self, weak_link, person_tree_store):
+        person_tree_store.delete_edge("ROOT", "P1")
+        assert weak_link.path_to_root("A1") is None

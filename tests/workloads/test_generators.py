@@ -1,0 +1,72 @@
+"""Tests for synthetic GSDB generators."""
+
+from repro.gsdb import Shape, validate_store
+from repro.gsdb.traversal import follow_path
+from repro.workloads import (
+    TreeSpec,
+    count_objects,
+    layered_dag,
+    layered_tree,
+    random_labelled_tree,
+)
+
+
+class TestLayeredTree:
+    def test_shape_and_size(self):
+        spec = TreeSpec(depth=3, fanout=2)
+        store, root = layered_tree(spec)
+        assert validate_store(store).shape is Shape.TREE
+        sets, atoms = count_objects(store)
+        assert atoms == 2 ** 3  # leaves
+        assert sets == 1 + 2 + 4  # root + two inner levels
+
+    def test_labels_per_level(self):
+        spec = TreeSpec(depth=2, fanout=2)
+        store, root = layered_tree(spec)
+        assert len(follow_path(store, root, ["l1"])) == 2
+        assert len(follow_path(store, root, ["l1", "l2"])) == 4
+
+    def test_deterministic(self):
+        a, _ = layered_tree(TreeSpec(seed=9))
+        b, _ = layered_tree(TreeSpec(seed=9))
+        assert [repr(o) for o in a.scan()] == [repr(o) for o in b.scan()]
+
+    def test_values_in_range(self):
+        spec = TreeSpec(depth=2, fanout=3, value_range=(5, 10))
+        store, _ = layered_tree(spec)
+        for obj in store.scan():
+            if obj.is_atomic:
+                assert 5 <= obj.value <= 10
+
+
+class TestRandomLabelledTree:
+    def test_is_tree(self):
+        store, root = random_labelled_tree(nodes=50, seed=4)
+        assert validate_store(store).shape is Shape.TREE
+
+    def test_node_count(self):
+        store, _ = random_labelled_tree(nodes=30, seed=4)
+        assert len(store) == 30
+
+    def test_labels_repeat(self):
+        store, _ = random_labelled_tree(
+            nodes=40, labels=("a",), seed=4
+        )
+        labels = {o.label for o in store.scan()}
+        assert labels == {"root", "a"}
+
+
+class TestLayeredDag:
+    def test_has_multiple_parents(self):
+        store, root = layered_dag(depth=3, width=4, edges_per_node=2, seed=2)
+        report = validate_store(store)
+        assert report.shape is Shape.DAG
+        assert report.multi_parent  # genuine sharing
+
+    def test_acyclic(self):
+        store, _ = layered_dag(depth=4, width=3, seed=8)
+        assert validate_store(store).shape in (Shape.DAG, Shape.TREE)
+
+    def test_root_reaches_all_levels(self):
+        store, root = layered_dag(depth=3, width=4, seed=2)
+        assert follow_path(store, root, ["l1", "l2", "l3"])

@@ -1,0 +1,76 @@
+"""Tests for the paper scenario databases."""
+
+from repro.gsdb import Shape, validate_store
+from repro.gsdb.traversal import follow_path
+from repro.workloads import (
+    PERSON_OIDS,
+    insert_tuple,
+    person_db,
+    relations_db,
+    web_db,
+)
+
+
+class TestPersonDb:
+    def test_exact_example_2_contents(self):
+        s = person_db()
+        assert s.get("ROOT").children() == {"P1", "P2", "P3", "P4"}
+        assert s.get("P1").children() == {"N1", "A1", "S1", "P3"}
+        assert s.get("N1").value == "John"
+        assert s.get("S1").type == "dollar"
+        assert len(s) == len(PERSON_OIDS)
+
+    def test_paper_shape_is_dag(self):
+        assert validate_store(person_db()).shape is Shape.DAG
+
+    def test_tree_variant(self):
+        s = person_db(tree=True)
+        assert validate_store(s).shape is Shape.TREE
+        # P3 still reachable through P1.
+        assert follow_path(s, "ROOT", ["professor", "student"]) == {"P3"}
+
+
+class TestRelationsDb:
+    def test_figure_5_structure(self):
+        s, root = relations_db(relations=2, tuples_per_relation=3)
+        assert root == "REL"
+        assert s.get("REL").label == "relations"
+        tuples = follow_path(s, "REL", ["r", "tuple"])
+        assert len(tuples) == 3
+        ages = follow_path(s, "REL", ["r", "tuple", "age"])
+        assert len(ages) == 3
+
+    def test_tree_shaped(self):
+        s, _ = relations_db(relations=3, tuples_per_relation=4)
+        assert validate_store(s).shape is Shape.TREE
+
+    def test_deterministic(self):
+        a, _ = relations_db(seed=5)
+        b, _ = relations_db(seed=5)
+        assert {o.oid: o.value for o in a.scan() if o.is_atomic} == {
+            o.oid: o.value for o in b.scan() if o.is_atomic
+        }
+
+    def test_insert_tuple_example_7(self):
+        s, _ = relations_db()
+        seen = []
+        s.subscribe(seen.append)
+        insert_tuple(s, "R0", "T", age=40)
+        assert len(seen) == 1  # one basic update: insert(R, T)
+        assert "T" in s.get("R0").children()
+        assert s.get("age_T").value == 40
+
+
+class TestWebDb:
+    def test_structure(self):
+        s, root = web_db(pages=10)
+        assert root == "SITE"
+        assert validate_store(s).shape is Shape.TREE
+        pages = [o for o in s.scan() if o.label == "page"]
+        assert len(pages) == 10
+
+    def test_words_present(self):
+        s, _ = web_db(pages=10, words_per_page=3)
+        words = [o for o in s.scan() if o.label == "word"]
+        assert len(words) == 30
+        assert all(isinstance(w.value, str) for w in words)

@@ -1,0 +1,79 @@
+"""Tests for the random update stream generator."""
+
+from repro.gsdb import Shape, validate_store
+from repro.workloads import UpdateMix, UpdateStream, person_db
+
+
+class TestUpdateStream:
+    def test_applies_requested_count(self):
+        store = person_db(tree=True)
+        stream = UpdateStream(store, seed=1, protected=frozenset({"ROOT"}))
+        applied = stream.run(25)
+        assert len(applied) == 25
+        assert len(store.log) == 25
+
+    def test_deterministic(self):
+        a = person_db(tree=True)
+        b = person_db(tree=True)
+        ua = UpdateStream(a, seed=3, protected=frozenset({"ROOT"})).run(20)
+        ub = UpdateStream(b, seed=3, protected=frozenset({"ROOT"})).run(20)
+        assert ua == ub
+
+    def test_preserve_tree(self):
+        store = person_db(tree=True)
+        stream = UpdateStream(
+            store, seed=2, protected=frozenset({"ROOT"})
+        )
+        stream.run(60)
+        # Deletions may create forests, but no node gains two parents.
+        report = validate_store(store)
+        assert report.shape in (Shape.TREE, Shape.FOREST)
+
+    def test_protected_oids_untouched(self):
+        store = person_db(tree=True)
+        stream = UpdateStream(
+            store, seed=5, protected=frozenset({"ROOT", "P1"})
+        )
+        stream.run(40)
+        for update in store.log:
+            assert "P1" not in getattr(update, "parent", ""), update
+            assert "P1" != getattr(update, "oid", ""), update
+
+    def test_protected_prefixes(self):
+        store = person_db(tree=True)
+        store.check_references = False
+        store.add_set("MV.P1", "copy", ["N1"])
+        stream = UpdateStream(
+            store,
+            seed=5,
+            protected=frozenset({"ROOT"}),
+            protected_prefixes=("MV",),
+        )
+        stream.run(40)
+        for update in store.log:
+            for oid in update.directly_affected[:1]:
+                assert not oid.startswith("MV")
+
+    def test_modify_only_mix(self):
+        store = person_db(tree=True)
+        stream = UpdateStream(
+            store,
+            seed=7,
+            mix=UpdateMix(insert=0, delete=0, modify=1),
+            protected=frozenset({"ROOT"}),
+        )
+        applied = stream.run(10)
+        assert all(type(u).__name__ == "Modify" for u in applied)
+
+    def test_exhaustion_returns_short(self):
+        from repro.gsdb import ObjectStore
+
+        store = ObjectStore()
+        store.add_set("only", "root", [])
+        stream = UpdateStream(
+            store,
+            seed=1,
+            mix=UpdateMix(insert=0, delete=1, modify=1),
+            protected=frozenset({"only"}),
+        )
+        assert stream.run(5) == []
