@@ -11,6 +11,16 @@ Indexes subscribe to a store's update and creation streams and stay
 consistent automatically.  Lookups charge ``index_probes`` to the
 store's counters so experiment E8 can compare indexed and unindexed
 evaluation.
+
+:class:`ParentIndex` additionally memoizes *upward chains* — the
+``[N, parent(N), ...]`` walk to the top of the tree, together with the
+labels along it.  ``path(ROOT, N)`` and ``chain(ROOT, N)`` are the hot
+evaluation functions of Algorithm 1 (every maintainer computes them for
+every update), so once one maintainer has paid for the walk, every
+other view maintained over the same store answers the same question
+from the memo at zero base-access cost (experiment E14).  The memo is
+invalidated on any structural change (edge insert/delete, indexed set
+creation); labels are immutable, so ``modify`` never invalidates.
 """
 
 from __future__ import annotations
@@ -38,6 +48,9 @@ class ParentIndex:
             objects (Section 2) and virtual ``view`` objects (Section
             3.1), both of which hold member OIDs of objects that keep
             their real parents elsewhere.
+        chain_cache: memoize upward chains (on by default).  Pass False
+            to model the pre-memoization per-view subscription cost
+            (the E14 baseline).
     """
 
     #: Labels of grouping artifacts ignored by default.
@@ -49,6 +62,7 @@ class ParentIndex:
         *,
         ignore_parents: set[str] | None = None,
         ignore_labels: frozenset[str] | None = None,
+        chain_cache: bool = True,
     ) -> None:
         self._store = store
         self._ignored = set(ignore_parents or ())
@@ -59,6 +73,13 @@ class ParentIndex:
             else self.DEFAULT_IGNORED_LABELS
         )
         self._parents: dict[str, set[str]] = {}
+        self._chain_caching = chain_cache
+        #: oid -> (((oid, label), ..., (top, label)), stopped_at_multi);
+        #: truncated where an object is missing from the store, or where
+        #: a node has several parents (stopped_at_multi records that).
+        self._chain_cache: dict[
+            str, tuple[tuple[tuple[str, str], ...], bool]
+        ] = {}
         self._rebuild()
         store.subscribe(self._on_update)
         store.subscribe_creations(self._on_creation)
@@ -111,6 +132,7 @@ class ParentIndex:
         self.ignore_prefix(view_oid + ".")
 
     def _drop_ignored_entries(self) -> None:
+        self._chain_cache.clear()
         for child in list(self._parents):
             parents = self._parents[child]
             drop = {p for p in parents if self._is_ignored(p)}
@@ -124,21 +146,33 @@ class ParentIndex:
     def _on_creation(self, obj: Object) -> None:
         if obj.is_set:
             self._index_object(obj)
+            # A newly created set with children changes structure, as
+            # does a creation filling in a previously-missing OID that a
+            # truncated chain recorded.  Ignored creations (delegates of
+            # centralized views) change no indexed structure and must
+            # not evict chains mid-maintenance.
+            if self._chain_cache and (
+                obj.oid in self._chain_cache
+                or (obj.children() and not self._is_ignored(obj.oid))
+            ):
+                self._chain_cache.clear()
 
     def _on_update(self, update: Update) -> None:
         if isinstance(update, Insert):
             if not self._is_ignored(update.parent):
+                self._chain_cache.clear()
                 self._parents.setdefault(update.child, set()).add(
                     update.parent
                 )
         elif isinstance(update, Delete):
             if not self._is_ignored(update.parent):
+                self._chain_cache.clear()
                 parents = self._parents.get(update.child)
                 if parents is not None:
                     parents.discard(update.parent)
                     if not parents:
                         del self._parents[update.child]
-        # Modify does not change edges.
+        # Modify does not change edges (or labels), so chains survive.
 
     # -- lookup -----------------------------------------------------------------
 
@@ -168,6 +202,116 @@ class ParentIndex:
     def has_parent(self, oid: str) -> bool:
         self._store.counters.index_probes += 1
         return bool(self._parents.get(oid))
+
+    # -- memoized upward chains (shared across view maintainers) --------------
+
+    def _upward_chain(
+        self, oid: str
+    ) -> tuple[tuple[tuple[str, str], ...], bool]:
+        """The chain ``((oid, label), ..., (top, label))`` walking up,
+        plus whether the walk stopped at a multi-parent node.
+
+        A memo hit charges one ``index_probes`` (and a
+        ``chain_cache_hits``); a miss performs the ordinary upward walk
+        — one ``object_reads`` + ``index_probes`` per node and one
+        ``edge_traversals`` per hop, exactly what the unmemoized
+        :func:`~repro.gsdb.traversal.path_between` charges — and caches
+        the chain plus all its suffixes.  The walk stops where an
+        object is missing from the store (truncated chain), at a
+        parentless node, or at a node with several parents (the
+        flag, so callers can preserve :meth:`parent`'s loud non-tree
+        failure mode).
+        """
+        counters = self._store.counters
+        cached = self._chain_cache.get(oid)
+        if cached is not None:
+            counters.index_probes += 1
+            counters.chain_cache_hits += 1
+            return cached
+        counters.chain_cache_misses += 1
+        entries: list[tuple[str, str]] = []
+        stopped_at_multi = False
+        current = oid
+        while True:
+            obj = self._store.get_optional(current)
+            if obj is None:
+                break
+            entries.append((current, obj.label))
+            counters.index_probes += 1
+            parents = self._parents.get(current)
+            if not parents:
+                break
+            if len(parents) > 1:
+                stopped_at_multi = True
+                break
+            counters.edge_traversals += 1
+            current = next(iter(parents))
+        result = (tuple(entries), stopped_at_multi)
+        if self._chain_caching:
+            self._chain_cache[oid] = result
+            for i in range(1, len(entries)):
+                self._chain_cache.setdefault(
+                    entries[i][0], (result[0][i:], stopped_at_multi)
+                )
+        return result
+
+    def _scan_chain(
+        self, ancestor: str, descendant: str
+    ) -> tuple[tuple[tuple[str, str], ...], int] | None:
+        """Locate *ancestor* in *descendant*'s upward chain.
+
+        Returns ``(chain, index_of_ancestor)``, or None when *ancestor*
+        is not on the chain.  Raises ValueError when the walk hit a
+        multi-parent node before finding *ancestor* — the same loud
+        non-tree failure an unmemoized upward walk via :meth:`parent`
+        produces.
+        """
+        chain, stopped_at_multi = self._upward_chain(descendant)
+        if not chain or chain[0][0] != descendant:
+            return None
+        for i, (oid, _label) in enumerate(chain):
+            if oid == ancestor:
+                return chain, i
+        if stopped_at_multi:
+            top = chain[-1][0]
+            raise ValueError(
+                f"object {top!r} has multiple parents; base is not a tree"
+            )
+        return None
+
+    def memoized_path(
+        self, ancestor: str, descendant: str
+    ) -> list[str] | None:
+        """``path(ancestor, descendant)`` answered from the chain memo.
+
+        Same contract as :func:`~repro.gsdb.traversal.path_between`
+        with a parent index: the label path from *ancestor* down to
+        *descendant*, or None when *ancestor* is not an ancestor.
+        """
+        located = self._scan_chain(ancestor, descendant)
+        if located is None:
+            return None
+        chain, i = located
+        labels = [label for (_oid, label) in chain[:i]]
+        labels.reverse()
+        return labels
+
+    def memoized_chain(
+        self, ancestor: str, descendant: str
+    ) -> list[str] | None:
+        """``[ancestor, ..., descendant]`` OID chain from the memo, or
+        None when *ancestor* is not an ancestor of *descendant*."""
+        located = self._scan_chain(ancestor, descendant)
+        if located is None:
+            return None
+        chain, i = located
+        oids = [entry_oid for (entry_oid, _lab) in chain[: i + 1]]
+        oids.reverse()
+        return oids
+
+    def chain_cache_size(self) -> int:
+        """Number of memoized chains (introspection for tests/benches)."""
+        return len(self._chain_cache)
 
     def roots(self) -> set[str]:
         """Return all set-object OIDs with no recorded parent.

@@ -60,6 +60,9 @@ class ObjectStore:
         from repro.instrumentation.counters import CostCounters
 
         self._objects: dict[str, Object] = {}
+        #: Cached sorted OID list for oids()/scan(); rebuilt lazily
+        #: after add_object/remove_object instead of on every call.
+        self._sorted_oids: list[str] | None = None
         self._listeners: list[UpdateListener] = []
         self._creation_listeners: list[Callable[[Object], None]] = []
         self.log = UpdateLog()
@@ -83,6 +86,7 @@ class ObjectStore:
         if obj.oid in self._objects:
             raise DuplicateObjectError(obj.oid)
         self._objects[obj.oid] = obj
+        self._sorted_oids = None
         self.counters.object_writes += 1
         for listener in self._creation_listeners:
             listener(obj)
@@ -119,6 +123,7 @@ class ObjectStore:
             obj = self._objects.pop(oid)
         except KeyError:
             raise UnknownObjectError(oid) from None
+        self._sorted_oids = None
         self.counters.object_writes += 1
         return obj
 
@@ -152,9 +157,22 @@ class ObjectStore:
     def __len__(self) -> int:
         return len(self._objects)
 
+    def _sorted_order(self) -> list[str]:
+        """The sorted OID list, re-sorted only after membership changed.
+
+        Callers iterate the returned list directly; because
+        ``add_object``/``remove_object`` *replace* the cache (set it to
+        None) rather than mutating the list, in-flight iterators keep
+        the snapshot they started with — same semantics as the old
+        sort-per-call implementation.
+        """
+        if self._sorted_oids is None:
+            self._sorted_oids = sorted(self._objects)
+        return self._sorted_oids
+
     def oids(self) -> Iterator[str]:
         """Iterate all OIDs in sorted (deterministic) order."""
-        return iter(sorted(self._objects))
+        return iter(self._sorted_order())
 
     def scan(self) -> Iterator[Object]:
         """Iterate all objects in sorted OID order, charging scans.
@@ -162,7 +180,7 @@ class ObjectStore:
         This models the expensive full-database pass the paper contrasts
         with index-assisted access (Section 4.4).
         """
-        for oid in sorted(self._objects):
+        for oid in self._sorted_order():
             self.counters.object_scans += 1
             yield self._objects[oid]
 

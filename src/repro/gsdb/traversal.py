@@ -14,6 +14,28 @@ relevant:
 All traversal charges ``edge_traversals`` on the store's counters so
 experiment E8 can quantify the difference.
 
+Counter charging, per function
+------------------------------
+* :func:`follow_path` — one ``edge_traversals`` per out-edge examined;
+  one ``object_reads`` per *admitted* child (the label test itself uses
+  the uncharged :meth:`~repro.gsdb.store.ObjectStore.peek`, modelling a
+  label check resolved on the already-fetched parent page) plus one
+  ``object_reads`` per frontier set-object expanded.
+* :func:`path_between` / :func:`chain_between` with a
+  :class:`~repro.gsdb.indexes.ParentIndex` — delegated to the index's
+  memoized chain cache when it has one: a warm chain costs a single
+  ``index_probes`` (plus a ``chain_cache_hits`` note) and **zero** base
+  accesses; a cold chain charges the classic upward walk (one
+  ``object_reads`` + ``index_probes`` per node, one ``edge_traversals``
+  per hop).  Without an index, a downward DFS charging one
+  ``edge_traversals`` + ``object_reads`` per edge examined.
+* :func:`ancestor_by_path` / :func:`ancestors_by_path` — one
+  ``object_reads`` per node visited, one ``edge_traversals`` per upward
+  hop, ``index_probes`` inside the parent lookups.
+* :func:`descendants` / :func:`is_reachable` / :func:`ancestor_via_root`
+  — downward searches: one ``edge_traversals`` per edge, one
+  ``object_reads`` per set object expanded.
+
 Constant paths only live here; path *expressions* (wildcards) are
 evaluated by :mod:`repro.paths.automaton`.
 """
@@ -48,6 +70,11 @@ def follow_path(
     Labels are matched on the objects *reached*, i.e. an edge
     ``N1 -> N2`` matches label ``l`` when ``label(N2) == l``.
     """
+    # Label screening via the uncharged peek (when the store has one):
+    # only children that pass the label test are charged an object
+    # read.  Remote store shims have no free peek — there a label check
+    # genuinely costs a lookup, so fall back to the charged path.
+    peek = getattr(store, "peek", None)
     frontier = {start}
     for label in path:
         next_frontier: set[str] = set()
@@ -57,9 +84,15 @@ def follow_path(
                 continue
             for child_oid in obj.children():
                 store.counters.edge_traversals += 1
-                child = store.get_optional(child_oid)
-                if child is not None and child.label == label:
-                    next_frontier.add(child_oid)
+                if peek is not None:
+                    child = peek(child_oid)
+                    if child is not None and child.label == label:
+                        store.counters.object_reads += 1
+                        next_frontier.add(child_oid)
+                else:
+                    child = store.get_optional(child_oid)
+                    if child is not None and child.label == label:
+                        next_frontier.add(child_oid)
         frontier = next_frontier
         if not frontier:
             break
@@ -151,13 +184,19 @@ def path_between(
     of N2 (the paper's ``path(N1, N2) = ∅``).
 
     With a parent index the walk is upward from *descendant* and costs
-    O(depth); without one it is a depth-first search downward from
-    *ancestor*.  The base must be a tree below *ancestor* for the path
-    to be unique; on a DAG use :func:`all_paths_between`.
+    O(depth) — and when the index carries a memoized chain cache
+    (:meth:`~repro.gsdb.indexes.ParentIndex.memoized_path`) a repeated
+    lookup costs a single index probe with zero base accesses.  Without
+    an index it is a depth-first search downward from *ancestor*.  The
+    base must be a tree below *ancestor* for the path to be unique; on
+    a DAG use :func:`all_paths_between`.
     """
     if ancestor == descendant:
         return []
     if parent_index is not None:
+        memo = getattr(parent_index, "memoized_path", None)
+        if memo is not None:
+            return memo(ancestor, descendant)
         return _path_upward(store, ancestor, descendant, parent_index)
     return _path_downward(store, ancestor, descendant)
 
@@ -371,11 +410,16 @@ def chain_between(
     Returns None when *ancestor* is not an ancestor of *descendant*.
     Companion to :func:`path_between` when callers need the nodes, not
     the labels (e.g. warehouse monitors reporting the path to an updated
-    object, Section 5.1 scenario 3).
+    object, Section 5.1 scenario 3).  Like :func:`path_between`, the
+    answer comes from the parent index's memoized chain cache when one
+    is available.
     """
     if ancestor == descendant:
         return [ancestor]
     if parent_index is not None:
+        memo = getattr(parent_index, "memoized_chain", None)
+        if memo is not None:
+            return memo(ancestor, descendant)
         chain = [descendant]
         current = descendant
         while current != ancestor:

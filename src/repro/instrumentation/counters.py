@@ -19,6 +19,17 @@ Counter semantics
 ``delegates_inserted``/``delegates_deleted``/``delegates_refreshed``
                       materialized-view churn
 ``view_recomputations`` full recomputations performed
+``chain_cache_hits``  root-chain lookups answered by the parent index's
+                      memoized chain cache (no base access charged)
+``chain_cache_misses`` chain lookups that had to walk the index
+``updates_screened``  (view, update) pairs dropped by the dispatcher's
+                      label/prefix screen with zero base accesses
+``updates_coalesced`` updates removed from a batch by coalescing
+                      (cancelled edge pairs, folded modify chains)
+
+The cache/screening counters are bookkeeping, not base accesses, so
+they do not contribute to :meth:`CostCounters.total_base_accesses` —
+they exist to *explain* why base accesses went down (experiment E14).
 """
 
 from __future__ import annotations
@@ -46,6 +57,10 @@ class CostCounters:
     delegates_deleted: int = 0
     delegates_refreshed: int = 0
     view_recomputations: int = 0
+    chain_cache_hits: int = 0
+    chain_cache_misses: int = 0
+    updates_screened: int = 0
+    updates_coalesced: int = 0
     notes: dict[str, int] = field(default_factory=dict)
 
     # -- arithmetic --------------------------------------------------------

@@ -6,6 +6,8 @@
 * :class:`~repro.views.materialized.MaterializedView` — delegates with
   semantic OIDs, swizzling, edits.
 * :class:`~repro.views.maintenance.SimpleViewMaintainer` — Algorithm 1.
+* :class:`~repro.views.dispatcher.MaintenanceDispatcher` — the shared
+  multi-view dispatcher (path sharing, screening, batch coalescing).
 * :class:`~repro.views.extended.ExtendedViewMaintainer` — wildcard and
   conjunctive views on trees (Section 6 relaxation 1).
 * :class:`~repro.views.dag.DagCountingMaintainer` — DAG bases via
@@ -26,6 +28,11 @@ from repro.views.consistency import (
 )
 from repro.views.dag import DagCountingMaintainer
 from repro.views.definition import ViewDefinition
+from repro.views.dispatcher import (
+    MaintenanceDispatcher,
+    PathContext,
+    coalesce_updates,
+)
 from repro.views.extended import ExtendedViewMaintainer
 from repro.views.maintenance import SimpleViewMaintainer
 from repro.views.materialized import MaterializedView, SwizzleMode
@@ -45,7 +52,9 @@ __all__ = [
     "ConsistencyReport",
     "DagCountingMaintainer",
     "ExtendedViewMaintainer",
+    "MaintenanceDispatcher",
     "MaterializedView",
+    "PathContext",
     "SimpleViewMaintainer",
     "SwizzleMode",
     "ViewCatalog",
@@ -54,6 +63,7 @@ __all__ = [
     "VirtualView",
     "assert_consistent",
     "check_consistency",
+    "coalesce_updates",
     "compute_view_members",
     "populate_view",
     "recompute_view",

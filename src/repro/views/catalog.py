@@ -36,6 +36,7 @@ from repro.query.parser import parse_query
 from repro.views.consistency import ConsistencyReport, check_consistency
 from repro.views.dag import DagCountingMaintainer
 from repro.views.definition import ViewDefinition
+from repro.views.dispatcher import MaintenanceDispatcher
 from repro.views.extended import ExtendedViewMaintainer
 from repro.views.maintenance import SimpleViewMaintainer
 from repro.views.materialized import MaterializedView, SwizzleMode
@@ -78,6 +79,13 @@ class ViewCatalog:
             ParentIndex(self.store) if with_parent_index else None
         )
         self.label_index = LabelIndex(self.store) if with_label_index else None
+        # The single store subscriber fanning updates to all view
+        # maintainers (screened, with a shared per-update PathContext).
+        # Subscribed after the indexes so they are fresh when
+        # maintenance runs.
+        self.dispatcher = MaintenanceDispatcher(
+            self.store, parent_index=self.parent_index, subscribe=True
+        )
         self.evaluator = QueryEvaluator(self.registry)
         self.virtual_views: dict[str, VirtualView] = {}
         self.materialized_views: dict[str, MaterializedView] = {}
@@ -151,25 +159,29 @@ class ViewCatalog:
             else:
                 kind = "recompute"
         if kind == "simple":
-            return SimpleViewMaintainer(
-                view, parent_index=self.parent_index, subscribe=True
+            return self.dispatcher.register(
+                SimpleViewMaintainer(
+                    view, parent_index=self.parent_index, subscribe=False
+                )
             )
         if kind == "extended":
-            return ExtendedViewMaintainer(
-                view, parent_index=self.parent_index, subscribe=True
+            return self.dispatcher.register(
+                ExtendedViewMaintainer(
+                    view, parent_index=self.parent_index, subscribe=False
+                )
             )
         if kind == "dag":
             if self.parent_index is None:
                 raise ViewDefinitionError(
                     "DAG maintenance requires a parent index"
                 )
-            return DagCountingMaintainer(
-                view, self.parent_index, subscribe=True
+            return self.dispatcher.register(
+                DagCountingMaintainer(view, self.parent_index, subscribe=False)
             )
         if kind == "recompute":
-            maintainer = _RecomputeMaintainer(view, self.registry)
-            self.store.subscribe(maintainer.handle)
-            return maintainer
+            return self.dispatcher.register(
+                _RecomputeMaintainer(view, self.registry)
+            )
         raise ViewDefinitionError(f"unknown maintainer kind {kind!r}")
 
     def define_partial(
@@ -196,10 +208,12 @@ class ViewCatalog:
         )
         if self.parent_index is not None and view.view_store is self.store:
             self.parent_index.ignore_view(name)
-        maintainer = SimpleViewMaintainer(
-            view,  # type: ignore[arg-type]
-            parent_index=self.parent_index,
-            subscribe=True,
+        maintainer = self.dispatcher.register(
+            SimpleViewMaintainer(
+                view,  # type: ignore[arg-type]
+                parent_index=self.parent_index,
+                subscribe=False,
+            )
         )
         from repro.views.recompute import compute_view_members
 
@@ -247,8 +261,13 @@ class ViewCatalog:
             self.store,
             view_store,
             parent_index=self.parent_index,
-            subscribe=True,
+            subscribe=False,
         )
+        # Each branch is an ordinary simple maintainer over a branch
+        # adapter; register them individually so each gets its own
+        # prefix screen.
+        for branch_maintainer in view.maintainers:
+            self.dispatcher.register(branch_maintainer)
         self.materialized_views[name] = view.view
         self.maintainers[name] = view
         self._definition_order.append(name)
@@ -260,6 +279,9 @@ class ViewCatalog:
         """Remove a view, its maintainer subscription, and its objects."""
         maintainer = self.maintainers.pop(name, None)
         if maintainer is not None:
+            self.dispatcher.unregister(maintainer)
+            for sub_maintainer in getattr(maintainer, "maintainers", ()):
+                self.dispatcher.unregister(sub_maintainer)
             handler = getattr(maintainer, "handle", None)
             if handler is not None:
                 try:
@@ -299,6 +321,24 @@ class ViewCatalog:
         return set(self.query(text).children())
 
     # -- maintenance helpers ---------------------------------------------------------
+
+    def apply_batch(self, updates: Iterable[Update]) -> int:
+        """Apply a batch of updates, maintaining views once at the end.
+
+        Updates are applied to the store immediately (indexes stay
+        fresh) while maintainer dispatch is deferred; on return the
+        batch has been coalesced — net-zero edge flips cancelled,
+        modify chains folded — and dispatched against the final state.
+        Returns the number of updates applied.
+
+        Limitation: :class:`~repro.views.aggregate.AggregateView`
+        instances subscribe to the base store directly and therefore
+        observe batched updates against not-yet-maintained membership;
+        call their ``refresh_all()`` after a batch that may affect
+        their underlying view.
+        """
+        with self.dispatcher.batch():
+            return self.store.apply_all(updates)
 
     def check(self, name: str) -> ConsistencyReport:
         """Audit a materialized view against recomputation."""

@@ -1,0 +1,478 @@
+"""Shared maintenance dispatcher for multi-view workloads.
+
+The paper's warehouse architecture (Section 5) assumes *many* views
+maintained over one update stream, yet Algorithm 1 as literally
+implemented makes each maintainer an independent store subscriber that
+recomputes ``path(ROOT, N1)`` for every update — O(views × depth) per
+update even when most views are unaffected.  This module makes the
+multi-view hot path scale with the *affected* views instead:
+
+:class:`PathContext`
+    A per-update (or per-batch) memo of the root chains every
+    maintainer needs.  ``path(ROOT, N1)`` / ``chain(ROOT, N1)`` are
+    computed once and shared by all views rooted at the same entry.
+
+screening (:class:`_SimpleScreen` / :class:`_ExtendedScreen`)
+    Before a maintainer runs, the dispatcher decides from the view's
+    ``full_path`` (or path-expression label sets) whether the update
+    can possibly affect it.  An incompatible update is dropped with
+    zero base accesses — the label test uses the store's uncharged
+    ``peek`` and the shared, memoized root chain.  This generalizes the
+    warehouse's bulk-update label screening
+    (:mod:`repro.warehouse.bulk`) to local maintenance.
+
+    *Soundness* (simple views): the screen replays exactly the checks
+    Algorithm 1's decomposition performs — for ``insert``/``delete`` it
+    keeps the update iff ``sel_path.cond_path`` starts with
+    ``path(ROOT,N1).label(N2)`` or N1 is a member (whose delegate needs
+    a value refresh); for ``modify`` iff ``path(ROOT,N) =
+    sel_path.cond_path`` (and the view has a condition) or N is a
+    member.  Dropped updates are ones on which the maintainer provably
+    no-ops, so screening is *exact*, not merely sound.
+
+    *Soundness* (extended views): an edge update can change membership
+    only if the new/removed child's label can appear somewhere on an
+    instance of the select expression or of some comparison path (else
+    no select instance and no condition witness path can pass through
+    the edge); a modify only matters when the modified atom's label can
+    be the final label of some comparison path.  Wildcard segments make
+    every label feasible, disabling the label part of the screen.  The
+    reachable-region test (is N1 on the ROOT chain / is N1 a member)
+    mirrors the maintainer's own early exit, so screened updates are
+    again exact no-ops.
+
+:func:`coalesce_updates`
+    Batch pre-processing: cancel insert/delete pairs that leave an edge
+    in its pre-batch state, fold modify chains on one object to
+    ``(first old, last new)``, and drop modifies that return to the
+    original value.  *Correctness conditions*: the whole batch must be
+    applied to the base before dispatch (the dispatcher's
+    :meth:`MaintenanceDispatcher.batch` guarantees this), the base must
+    obey tree discipline, and the views must be consistent at batch
+    start.  Then every maintainer decision re-evaluates against the
+    final state, temporary intermediate states are never observable,
+    and a net-unchanged edge or value contributes no membership delta
+    — so the surviving updates cover exactly the pre/post difference.
+    Surviving updates keep their relative order (each at its last
+    occurrence), which preserves delete-then-reinsert sequencing.
+
+    *Batched deletes are history-dependent.*  Additions are determined
+    by the final state alone (a member exists iff derivable now), so
+    insert/modify handling — and their screens — may reason from final
+    paths.  Removals are not: a delete must evict members that were
+    derivable *through the deleted edge at the time it was applied*,
+    and later updates in the same batch may have detached or moved
+    parts of that subtree before dispatch runs.  Maintainers therefore
+    treat a batched delete specially (see
+    ``SimpleViewMaintainer._membership_after_delete`` /
+    ``ExtendedViewMaintainer._on_edge_change``): they purge every view
+    member found in the deleted child's final-state subtree by direct
+    ``contains`` inspection — complete where witness-driven discovery
+    under-approximates — and skip the no-lost-witness shortcut before
+    re-evaluating the surviving ancestor.  Members moved out of the
+    subtree mid-batch are covered inductively: whatever op moved them
+    is itself in the batch and dispatched in order.  Screens likewise
+    must not use final-state reachability to drop a batched delete
+    (the parent may have moved after the edge was cut); only the label
+    gate remains sound there, because a stranded member always carries
+    the deleted child's label on its own select path.
+
+Experiment E14 measures the effect; DESIGN.md §2 row S4b documents the
+deviations from the paper.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence
+
+from repro.gsdb.indexes import ParentIndex
+from repro.gsdb.store import ObjectStore
+from repro.gsdb.traversal import chain_between, path_between
+from repro.gsdb.updates import Delete, Insert, Modify, Update
+from repro.paths.expression import LabelSegment, PathExpression
+from repro.paths.path import Path
+from repro.query.ast import And, Comparison
+from repro.views.extended import ExtendedViewMaintainer
+from repro.views.maintenance import SimpleViewMaintainer
+
+
+class PathContext:
+    """Per-update memo of root chains, shared across maintainers.
+
+    All lookups are keyed ``(root, oid)`` so views with different entry
+    points share nothing by accident.  Labels are resolved through the
+    store's uncharged ``peek`` when it has one (screening must not
+    charge base accesses); remote store shims without a free ``peek``
+    fall back to the charged lookup.
+
+    A context may serve a whole batch *only after* the batch has been
+    fully applied to the base: every memoized answer reflects the final
+    state, which is exactly the state all maintainers evaluate against.
+    ``batched`` tells maintainers (and screens) that the update stream
+    was coalesced — deletes then need the history-aware handling
+    described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        parent_index: ParentIndex | None = None,
+        *,
+        batched: bool = False,
+    ) -> None:
+        self.store = store
+        self.parent_index = parent_index
+        self.batched = batched
+        self._labels: dict[str, str | None] = {}
+        self._paths: dict[tuple[str, str], list[str] | None] = {}
+        self._chains: dict[tuple[str, str], list[str] | None] = {}
+
+    def label(self, oid: str) -> str | None:
+        """The label of *oid*, or None when absent (uncharged)."""
+        if oid not in self._labels:
+            peek = getattr(self.store, "peek", None)
+            obj = peek(oid) if peek is not None else self.store.get_optional(oid)
+            self._labels[oid] = None if obj is None else obj.label
+        return self._labels[oid]
+
+    def path_between(self, root: str, oid: str) -> list[str] | None:
+        """Memoized ``path(root, oid)`` — callers must not mutate."""
+        key = (root, oid)
+        if key not in self._paths:
+            self._paths[key] = path_between(
+                self.store, root, oid, parent_index=self.parent_index
+            )
+        return self._paths[key]
+
+    def chain_between(self, root: str, oid: str) -> list[str] | None:
+        """Memoized OID chain ``[root, ..., oid]`` — do not mutate."""
+        key = (root, oid)
+        if key not in self._chains:
+            self._chains[key] = chain_between(
+                self.store, root, oid, parent_index=self.parent_index
+            )
+        return self._chains[key]
+
+
+# ---------------------------------------------------------------------------
+# screening
+# ---------------------------------------------------------------------------
+
+
+def _expression_labels(expression: PathExpression) -> set[str] | None:
+    """Concrete labels an instance may step through; None means "any"
+    (the expression contains a wildcard segment)."""
+    labels: set[str] = set()
+    for segment in expression.segments:
+        if isinstance(segment, LabelSegment):
+            labels.update(segment.labels)
+        else:
+            return None
+    return labels
+
+
+def _comparisons(condition) -> list[Comparison]:
+    if condition is None:
+        return []
+    if isinstance(condition, Comparison):
+        return [condition]
+    if isinstance(condition, And):
+        return [c for c in condition.operands if isinstance(c, Comparison)]
+    return []
+
+
+class _SimpleScreen:
+    """Exact relevance test for a :class:`SimpleViewMaintainer`."""
+
+    def __init__(self, maintainer: SimpleViewMaintainer) -> None:
+        self.m = maintainer
+        self._full_labels = set(maintainer.full_path.labels)
+
+    def relevant(self, update: Update, ctx: PathContext) -> bool:
+        m = self.m
+        if isinstance(update, Modify):
+            if m.view.contains(update.oid):
+                return True  # member value refresh
+            if not m.has_condition:
+                return False  # membership is pure reachability
+            full = m.full_path
+            if not full:
+                return update.oid == m.root
+            if ctx.label(update.oid) != full.labels[-1]:
+                return False
+            path = ctx.path_between(m.root, update.oid)
+            return path is not None and full == tuple(path)
+        # Insert / Delete on edge N1 -> N2.
+        if m.view.contains(update.parent):
+            return True  # member value refresh (children changed)
+        label = ctx.label(update.child)
+        if label is None or label not in self._full_labels:
+            return False  # label(N2) cannot continue sel_path.cond_path
+        if ctx.batched and isinstance(update, Delete):
+            # Removals are history-dependent: N1's *final* path proves
+            # nothing about where the subtree sat when the edge was
+            # cut.  Only the label gate above is sound here.
+            return True
+        prefix = ctx.path_between(m.root, update.parent)
+        if prefix is None:
+            return False  # N1 unreachable from this view's ROOT
+        return (
+            m.full_path.strip_prefix(Path(tuple(prefix) + (label,)))
+            is not None
+        )
+
+
+class _ExtendedScreen:
+    """Label/region relevance test for an :class:`ExtendedViewMaintainer`."""
+
+    def __init__(self, maintainer: ExtendedViewMaintainer) -> None:
+        self.m = maintainer
+        definition = maintainer.view.definition
+        comparisons = _comparisons(definition.condition)
+        # Labels that can appear anywhere on a select instance or on a
+        # condition witness path (edge updates).
+        edge_labels = _expression_labels(definition.select_expression)
+        for comp in comparisons:
+            if edge_labels is None:
+                break
+            comp_labels = _expression_labels(comp.path)
+            if comp_labels is None:
+                edge_labels = None
+            else:
+                edge_labels = edge_labels | comp_labels
+        self._edge_labels = edge_labels
+        # Labels a condition witness (the final object of a comparison
+        # path) can carry (modify updates).
+        witness_labels: set[str] | None = set()
+        for comp in comparisons:
+            segments = comp.path.segments
+            if not segments or not isinstance(segments[-1], LabelSegment):
+                witness_labels = None
+                break
+            witness_labels.update(segments[-1].labels)
+        self._witness_labels = witness_labels
+
+    def relevant(self, update: Update, ctx: PathContext) -> bool:
+        m = self.m
+        if isinstance(update, Modify):
+            if m.view.contains(update.oid):
+                return True
+            if m.condition is None:
+                return False
+            if (
+                self._witness_labels is not None
+                and ctx.label(update.oid) not in self._witness_labels
+            ):
+                return False
+            return ctx.chain_between(m.root, update.oid) is not None
+        if m.view.contains(update.parent):
+            return True
+        if (
+            self._edge_labels is not None
+            and ctx.label(update.child) not in self._edge_labels
+        ):
+            return False
+        if ctx.batched and isinstance(update, Delete):
+            return True  # removals are history-dependent; label gate only
+        return ctx.chain_between(m.root, update.parent) is not None
+
+
+# ---------------------------------------------------------------------------
+# batch coalescing
+# ---------------------------------------------------------------------------
+
+
+def coalesce_updates(
+    updates: Iterable[Update], *, counters=None
+) -> list[Update]:
+    """Reduce an applied batch to its net effect (see module docstring).
+
+    * insert/delete pairs on the same edge cancel when counts balance
+      (the edge ends in its pre-batch state); otherwise the last op on
+      the edge is the net op and survives alone;
+    * modify chains on one object fold to ``(first old, last new)`` and
+      vanish entirely when the value returns to the original;
+    * survivors keep their relative order (each at the position of its
+      key's last occurrence).
+
+    Charges ``updates_coalesced`` on *counters* (when given) for every
+    update removed or folded away.
+    """
+    updates = list(updates)
+    groups: dict[tuple, list[Update]] = {}
+    last_index: dict[tuple, int] = {}
+    for i, update in enumerate(updates):
+        if isinstance(update, (Insert, Delete)):
+            key = ("edge", update.parent, update.child)
+        elif isinstance(update, Modify):
+            key = ("modify", update.oid)
+        else:
+            key = ("other", i)
+        groups.setdefault(key, []).append(update)
+        last_index[key] = i
+    result: list[Update] = []
+    for key in sorted(groups, key=last_index.__getitem__):
+        ops = groups[key]
+        if key[0] == "edge":
+            inserts = sum(1 for op in ops if isinstance(op, Insert))
+            if inserts * 2 == len(ops):
+                continue  # net parity: edge is back in its old state
+            result.append(ops[-1])
+        elif key[0] == "modify":
+            first, last = ops[0], ops[-1]
+            if first.old_value == last.new_value:
+                continue  # value returned to the original
+            if len(ops) == 1:
+                result.append(last)
+            else:
+                result.append(
+                    Modify(last.oid, first.old_value, last.new_value)
+                )
+        else:
+            result.append(ops[0])
+    if counters is not None:
+        counters.updates_coalesced += len(updates) - len(result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# the dispatcher
+# ---------------------------------------------------------------------------
+
+
+class _Registration:
+    __slots__ = ("maintainer", "screen", "supports_context")
+
+    def __init__(self, maintainer, screen, supports_context: bool) -> None:
+        self.maintainer = maintainer
+        self.screen = screen
+        self.supports_context = supports_context
+
+
+class MaintenanceDispatcher:
+    """The single store subscriber fanning updates out to maintainers.
+
+    Register it once (``subscribe=True``) instead of subscribing each
+    maintainer; per update it builds one :class:`PathContext`, screens
+    each registered view, and invokes only the maintainers the update
+    can affect.  Per-update dispatch cost is then O(affected views),
+    not O(total views) — experiment E14.
+
+    Attributes:
+        updates_dispatched: updates fanned out (post-coalescing).
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        *,
+        parent_index: ParentIndex | None = None,
+        subscribe: bool = False,
+    ) -> None:
+        self.store = store
+        self.parent_index = parent_index
+        self._entries: list[_Registration] = []
+        self._buffer: list[Update] | None = None
+        self.updates_dispatched = 0
+        if subscribe:
+            store.subscribe(self.handle)
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, maintainer, *, screen: bool = True):
+        """Route updates to *maintainer* (anything with ``handle``).
+
+        Simple/extended maintainers get a relevance screen (unless
+        *screen* is False) and receive the shared :class:`PathContext`;
+        other maintainer kinds (DAG, recompute fallbacks, multi-path
+        branches over adapted stores) are dispatched unscreened.
+        Returns *maintainer* for chaining.
+        """
+        screener = None
+        supports_context = False
+        if isinstance(maintainer, SimpleViewMaintainer):
+            supports_context = True
+            if screen and hasattr(maintainer.view, "contains"):
+                screener = _SimpleScreen(maintainer)
+        elif isinstance(maintainer, ExtendedViewMaintainer):
+            supports_context = True
+            if screen and hasattr(maintainer.view, "contains"):
+                screener = _ExtendedScreen(maintainer)
+        self._entries.append(
+            _Registration(maintainer, screener, supports_context)
+        )
+        return maintainer
+
+    def unregister(self, maintainer) -> None:
+        """Stop routing updates to *maintainer* (no-op when absent)."""
+        self._entries = [
+            entry
+            for entry in self._entries
+            if entry.maintainer is not maintainer
+        ]
+
+    def registered(self) -> list:
+        """The registered maintainers, in registration order."""
+        return [entry.maintainer for entry in self._entries]
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, update: Update) -> None:
+        """Store-listener entry point: dispatch one applied update.
+
+        Inside a :meth:`batch` block the update is buffered instead and
+        dispatched (coalesced) when the block exits.
+        """
+        if self._buffer is not None:
+            self._buffer.append(update)
+            return
+        self._dispatch([update])
+
+    def handle_batch(self, updates: Sequence[Update]) -> list[Update]:
+        """Dispatch an already-applied batch, coalesced, with one
+        shared :class:`PathContext`.  Returns the surviving updates."""
+        survivors = coalesce_updates(updates, counters=self.store.counters)
+        self._dispatch(survivors, batched=True)
+        return survivors
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Buffer store notifications, then dispatch the net batch.
+
+        ::
+
+            with dispatcher.batch():
+                store.apply_all(updates)   # applied, not yet dispatched
+            # exiting coalesces + dispatches against the final state
+
+        The flush runs even when the body raises (the updates *were*
+        applied, so the views must still catch up).
+        """
+        if self._buffer is not None:
+            raise RuntimeError("dispatcher batch already active")
+        self._buffer = []
+        try:
+            yield
+        finally:
+            buffered, self._buffer = self._buffer, None
+            if buffered:
+                self.handle_batch(buffered)
+
+    def _dispatch(
+        self, updates: Sequence[Update], *, batched: bool = False
+    ) -> None:
+        context = PathContext(self.store, self.parent_index, batched=batched)
+        counters = self.store.counters
+        for update in updates:
+            self.updates_dispatched += 1
+            for entry in self._entries:
+                if entry.screen is not None and not entry.screen.relevant(
+                    update, context
+                ):
+                    counters.updates_screened += 1
+                    continue
+                if entry.supports_context:
+                    entry.maintainer.handle(update, context)
+                else:
+                    entry.maintainer.handle(update)

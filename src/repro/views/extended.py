@@ -38,14 +38,19 @@ of the subtree), never the whole view — compare experiment E9.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import MaintenanceError
 from repro.gsdb.indexes import ParentIndex
 from repro.gsdb.store import ObjectStore
-from repro.gsdb.traversal import chain_between
+from repro.gsdb.traversal import chain_between, descendants
 from repro.gsdb.updates import Delete, Insert, Modify, Update
 from repro.paths.automaton import compile_expression
 from repro.query.conditions import evaluate_condition
 from repro.views.materialized import MaterializedView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.views.dispatcher import PathContext
 
 
 class ExtendedViewMaintainer:
@@ -76,19 +81,29 @@ class ExtendedViewMaintainer:
         self.sel_nfa = compile_expression(view.definition.select_expression)
         self.condition = view.definition.condition
         self.updates_processed = 0
+        self._context: "PathContext | None" = None
         if subscribe:
             self.base.subscribe(self.handle)
 
     # -- dispatch ------------------------------------------------------------
 
-    def handle(self, update: Update) -> None:
+    def handle(
+        self, update: Update, context: "PathContext | None" = None
+    ) -> None:
+        """Process one applied update, optionally with a shared
+        per-update :class:`~repro.views.dispatcher.PathContext` so
+        ROOT→N1 chains are computed once across views."""
         self.updates_processed += 1
-        if isinstance(update, (Insert, Delete)):
-            self._on_edge_change(update)
-        elif isinstance(update, Modify):
-            self._on_modify(update)
-        else:  # pragma: no cover - defensive
-            raise MaintenanceError(f"unknown update: {update!r}")
+        self._context = context
+        try:
+            if isinstance(update, (Insert, Delete)):
+                self._on_edge_change(update)
+            elif isinstance(update, Modify):
+                self._on_modify(update)
+            else:  # pragma: no cover - defensive
+                raise MaintenanceError(f"unknown update: {update!r}")
+        finally:
+            self._context = None
 
     def handle_all(self, updates) -> None:
         for update in updates:
@@ -97,6 +112,8 @@ class ExtendedViewMaintainer:
     # -- candidate discovery ------------------------------------------------------
 
     def _chain_to(self, oid: str) -> list[str] | None:
+        if self._context is not None:
+            return self._context.chain_between(self.root, oid)
         return chain_between(
             self.base, self.root, oid, parent_index=self.parent_index
         )
@@ -156,19 +173,38 @@ class ExtendedViewMaintainer:
 
     def _on_edge_change(self, update: Insert | Delete) -> None:
         try:
+            attached = isinstance(update, Insert)
+            batched = self._context is not None and self._context.batched
+            if batched and not attached:
+                # Batched dispatch sees the *final* state; later batch
+                # updates may have detached or moved parts of the
+                # subtree this delete cut off, so the NFA walk below
+                # under-approximates.  Complete discovery: evict every
+                # member stranded in N2's current subtree (exact on
+                # trees).  Members moved elsewhere mid-batch are
+                # re-decided by their own updates, dispatched in order.
+                self._purge_members_below(update.child)
             chain = self._chain_to(update.parent)
             if chain is None:
                 return  # update in a detached region; no member involved
-            attached = isinstance(update, Insert)
-            for candidate in sorted(
-                self._down_candidates(chain, update.child)
-            ):
-                self._decide(candidate, reachable=attached)
+            if attached or not batched:
+                for candidate in sorted(
+                    self._down_candidates(chain, update.child)
+                ):
+                    self._decide(candidate, reachable=attached)
             for candidate in sorted(self._up_candidates(chain)):
                 self._decide(candidate, reachable=True)
         finally:
             if self.view.contains(update.parent):
                 self.view.refresh(update.parent)
+
+    def _purge_members_below(self, child_oid: str) -> None:
+        """Evict every view member in *child_oid*'s current subtree."""
+        if self.view.contains(child_oid):
+            self.view.v_delete(child_oid)
+        for oid in sorted(descendants(self.base, child_oid)):
+            if self.view.contains(oid):
+                self.view.v_delete(oid)
 
     def _on_modify(self, update: Modify) -> None:
         try:

@@ -39,6 +39,8 @@ experiment E8).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import MaintenanceError
 from repro.gsdb.indexes import ParentIndex
 from repro.gsdb.store import ObjectStore
@@ -46,6 +48,7 @@ from repro.gsdb.traversal import (
     ancestor_by_path,
     ancestor_via_root,
     chain_between,
+    descendants,
     eval_path_condition,
     follow_path,
     path_between,
@@ -53,6 +56,9 @@ from repro.gsdb.traversal import (
 from repro.gsdb.updates import Delete, Insert, Modify, Update
 from repro.paths.path import Path
 from repro.views.materialized import MaterializedView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.views.dispatcher import PathContext
 
 
 class SimpleViewMaintainer:
@@ -92,22 +98,36 @@ class SimpleViewMaintainer:
         self.has_condition = view.definition.has_condition
         self.cond = view.definition.predicate()
         self.updates_processed = 0
+        self._context: "PathContext | None" = None
         if subscribe:
             self.base.subscribe(self.handle)
 
     # -- dispatch ---------------------------------------------------------
 
-    def handle(self, update: Update) -> None:
-        """Process one already-applied base update."""
+    def handle(
+        self, update: Update, context: "PathContext | None" = None
+    ) -> None:
+        """Process one already-applied base update.
+
+        *context* is an optional per-update
+        :class:`~repro.views.dispatcher.PathContext` supplied by a
+        dispatcher so ``path(ROOT, N1)`` / ancestor chains computed for
+        one view are reused by every other view handling the same
+        update.
+        """
         self.updates_processed += 1
-        if isinstance(update, Insert):
-            self._on_insert(update)
-        elif isinstance(update, Delete):
-            self._on_delete(update)
-        elif isinstance(update, Modify):
-            self._on_modify(update)
-        else:  # pragma: no cover - defensive
-            raise MaintenanceError(f"unknown update: {update!r}")
+        self._context = context
+        try:
+            if isinstance(update, Insert):
+                self._on_insert(update)
+            elif isinstance(update, Delete):
+                self._on_delete(update)
+            elif isinstance(update, Modify):
+                self._on_modify(update)
+            else:  # pragma: no cover - defensive
+                raise MaintenanceError(f"unknown update: {update!r}")
+        finally:
+            self._context = None
 
     def handle_all(self, updates) -> None:
         for update in updates:
@@ -117,9 +137,12 @@ class SimpleViewMaintainer:
 
     def _path_from_root(self, oid: str) -> Path | None:
         """``path(ROOT, N)`` — None when N is not reachable from ROOT."""
-        labels = path_between(
-            self.base, self.root, oid, parent_index=self.parent_index
-        )
+        if self._context is not None:
+            labels = self._context.path_between(self.root, oid)
+        else:
+            labels = path_between(
+                self.base, self.root, oid, parent_index=self.parent_index
+            )
         if labels is None:
             return None
         return Path(labels)
@@ -176,20 +199,35 @@ class SimpleViewMaintainer:
             self._refresh_affected(update.parent)
 
     def _membership_after_delete(self, update: Delete) -> None:
+        # Under batched dispatch the base is already at the *final*
+        # state, where later batch updates may have detached or moved
+        # parts of the subtree this delete cut off — witness-driven
+        # discovery then under-approximates the members to evict.
+        # Complete discovery instead: every member stranded at or below
+        # N2 leaves the view (exact on trees — membership requires
+        # reachability from ROOT).  Members moved elsewhere mid-batch
+        # are re-decided by their own updates, dispatched in order.
+        batched = self._context is not None and self._context.batched
+        if batched:
+            self._purge_members_below(update.child)
         remainder = self._decompose(update.parent, update.child)
         if remainder is None:
             return
         child = update.child
         if not self.has_condition:
+            if batched:
+                return  # purge above is a superset of N2.p
             # Tree base: everything on N2.p lost its only derivation.
             for member in sorted(follow_path(self.base, child, remainder.labels)):
                 self.view.v_delete(member)
             return
-        witnesses = self._eval(child, remainder)
         inside_subtree = remainder.endswith(self.cond_path)
         if inside_subtree:
+            if batched:
+                return  # Y is inside the subtree; the purge covered it
             # Paper: p = p1.cond_path — Y is in the detached subtree and
             # unconditionally leaves the view.
+            witnesses = self._eval(child, remainder)
             targets: set[str] = set()
             for witness in witnesses:
                 ancestor = self._ancestor(
@@ -202,20 +240,34 @@ class SimpleViewMaintainer:
             return
         # Y survives above the deleted edge; other descendants may still
         # witness the condition (non-unique labels), so re-evaluate.
-        if not witnesses:
-            return
+        if not batched:
+            # No witness was lost => Y unaffected.  Only sound when the
+            # subtree still is as it was the moment the edge was cut.
+            if not self._eval(child, remainder):
+                return
         target = self._surviving_ancestor(update.parent)
         if target is None:
             return
         if not self._eval(target, self.cond_path):
             self.view.v_delete(target)
 
+    def _purge_members_below(self, child_oid: str) -> None:
+        """Evict every view member in *child_oid*'s current subtree."""
+        if self.view.contains(child_oid):
+            self.view.v_delete(child_oid)
+        for oid in sorted(descendants(self.base, child_oid)):
+            if self.view.contains(oid):
+                self.view.v_delete(oid)
+
     def _surviving_ancestor(self, parent_oid: str) -> str | None:
         """The Y above the deleted edge: the node at depth |sel_path| on
         the ROOT → N1 chain (N1 remains reachable after the delete)."""
-        chain = chain_between(
-            self.base, self.root, parent_oid, parent_index=self.parent_index
-        )
+        if self._context is not None:
+            chain = self._context.chain_between(self.root, parent_oid)
+        else:
+            chain = chain_between(
+                self.base, self.root, parent_oid, parent_index=self.parent_index
+            )
         # chain = [ROOT, ..., N1] has depth(N1)+1 entries; Y sits at
         # index |sel_path|, which exists iff |sel_path| <= depth(N1).
         if chain is None or len(self.sel_path) >= len(chain):

@@ -36,6 +36,7 @@ from repro.gsdb.updates import Update
 from repro.instrumentation.counters import CostCounters
 from repro.paths.path import Path
 from repro.views.definition import ViewDefinition
+from repro.views.dispatcher import coalesce_updates
 from repro.views.maintenance import SimpleViewMaintainer
 from repro.views.materialized import MaterializedView
 from repro.views.recompute import compute_view_members
@@ -443,6 +444,36 @@ class Warehouse:
                 self.log.record_notification(notification)
                 self._deliver(wview, notification)
         return applied
+
+    def process_batch(self, source_id: str, updates) -> list[Update]:
+        """Apply a batch of basic updates at a source, then maintain
+        warehouse views on the *coalesced* net batch.
+
+        The source's monitor is paused while the batch commits, the
+        batch is reduced with
+        :func:`~repro.views.dispatcher.coalesce_updates` (insert/delete
+        pairs that leave an edge unchanged cancel; modify chains fold
+        to first-old/last-new), and one notification per surviving
+        update is assembled from the post-batch source state — which is
+        exactly the state Algorithm 1's evaluation functions query, so
+        deferred assembly is safe (same argument as :meth:`apply_bulk`,
+        extended to edges by the net-effect cancellation).  Returns the
+        surviving updates.
+        """
+        updates = list(updates)
+        monitor = self.monitors[source_id]
+        monitor.pause()
+        try:
+            monitor.source.store.apply_all(updates)
+            survivors = coalesce_updates(updates, counters=self.counters)
+            notifications = [
+                monitor.build_notification(update) for update in survivors
+            ]
+        finally:
+            monitor.resume()
+        for notification in notifications:
+            self._dispatch(notification)
+        return survivors
 
     # -- notification routing ----------------------------------------------------------
 

@@ -1,0 +1,432 @@
+"""Tests for the shared maintenance dispatcher.
+
+Unit tests pin down the coalescing rules and the screening/caching
+counters; hypothesis drives the equivalence property the tentpole must
+preserve — for random trees, random update streams, and 2–8 random
+views, dispatcher-maintained views ≡ individually maintained views ≡
+``recompute_view``, including under batch coalescing.
+
+The equivalence tests run *identical* seeded update streams against
+structurally identical stores.  Views live in separate view stores so
+maintenance side effects never perturb the base store, which keeps the
+two streams byte-for-byte identical by construction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.property.support import common_settings
+
+from repro.gsdb import ObjectStore, ParentIndex
+from repro.gsdb.updates import Delete, Insert, Modify
+from repro.views import (
+    ExtendedViewMaintainer,
+    MaintenanceDispatcher,
+    MaterializedView,
+    PathContext,
+    SimpleViewMaintainer,
+    ViewCatalog,
+    ViewDefinition,
+    check_consistency,
+    coalesce_updates,
+    populate_view,
+)
+from repro.warehouse import ReportingLevel, Source, Warehouse
+from repro.workloads import UpdateStream, random_labelled_tree
+
+COMMON = common_settings(25)
+
+SIMPLE_QUERIES = (
+    "SELECT root0.a X",
+    "SELECT root0.b X",
+    "SELECT root0.a.b X",
+    "SELECT root0.b.c X",
+    "SELECT root0.c X WHERE X.a > 40",
+    "SELECT root0.a X WHERE X.b > 50",
+    "SELECT root0.b X WHERE X.c <= 30",
+    "SELECT root0.a.b X WHERE X.a = 77",
+)
+
+EXTENDED_QUERIES = (
+    "SELECT root0.* X WHERE X.b > 50",
+    "SELECT root0.?.? X",
+    "SELECT root0.a X WHERE X.b > 20 AND X.c < 80",
+)
+
+
+def _build_views(seed, nodes, simple_indices, extended_indices, *, dispatch):
+    """One store + its views, maintained either individually or via a
+    dispatcher.  Returns (store, root, views, dispatcher-or-None)."""
+    store, root = random_labelled_tree(
+        nodes=nodes,
+        labels=("a", "b", "c"),
+        value_range=(0, 100),
+        atomic_fraction=0.5,
+        seed=seed,
+    )
+    index = ParentIndex(store)
+    dispatcher = (
+        MaintenanceDispatcher(store, parent_index=index, subscribe=True)
+        if dispatch
+        else None
+    )
+    views = []
+    specs = [(i, SIMPLE_QUERIES[i], SimpleViewMaintainer) for i in simple_indices]
+    specs += [
+        (len(SIMPLE_QUERIES) + i, EXTENDED_QUERIES[i], ExtendedViewMaintainer)
+        for i in extended_indices
+    ]
+    for ordinal, (_key, query, maintainer_cls) in enumerate(specs):
+        definition = ViewDefinition.parse(
+            f"define mview V{ordinal} as: {query}"
+        )
+        view = MaterializedView(definition, store, ObjectStore())
+        populate_view(view)
+        maintainer = maintainer_cls(
+            view, parent_index=index, subscribe=not dispatch
+        )
+        if dispatcher is not None:
+            dispatcher.register(maintainer)
+        views.append(view)
+    return store, root, views, dispatcher
+
+
+def _stream(store, root, seed, steps):
+    return UpdateStream(
+        store,
+        seed=seed,
+        protected=frozenset({root}),
+        labels_for_new=("a", "b", "c"),
+    ).run(steps)
+
+
+class TestDispatcherEquivalence:
+    @given(
+        seed=st.integers(0, 10_000),
+        nodes=st.integers(10, 50),
+        steps=st.integers(1, 20),
+        simple=st.lists(
+            st.integers(0, len(SIMPLE_QUERIES) - 1), min_size=2, max_size=8
+        ),
+    )
+    @settings(**COMMON)
+    def test_streaming_equals_individual_and_recompute(
+        self, seed, nodes, steps, simple
+    ):
+        store_a, root_a, views_a, _ = _build_views(
+            seed, nodes, simple, (), dispatch=False
+        )
+        store_b, root_b, views_b, _ = _build_views(
+            seed, nodes, simple, (), dispatch=True
+        )
+        _stream(store_a, root_a, seed + 1, steps)
+        _stream(store_b, root_b, seed + 1, steps)
+        for individual, dispatched in zip(views_a, views_b):
+            assert dispatched.members() == individual.members()
+            report = check_consistency(dispatched)
+            assert report.ok, report.describe()
+
+    @given(
+        seed=st.integers(0, 10_000),
+        nodes=st.integers(10, 50),
+        steps=st.integers(1, 20),
+        simple=st.lists(
+            st.integers(0, len(SIMPLE_QUERIES) - 1), min_size=2, max_size=6
+        ),
+        extended=st.lists(
+            st.integers(0, len(EXTENDED_QUERIES) - 1), min_size=0, max_size=2
+        ),
+    )
+    @settings(**COMMON)
+    def test_batched_equals_individual_and_recompute(
+        self, seed, nodes, steps, simple, extended
+    ):
+        store_a, root_a, views_a, _ = _build_views(
+            seed, nodes, simple, extended, dispatch=False
+        )
+        store_b, root_b, views_b, dispatcher = _build_views(
+            seed, nodes, simple, extended, dispatch=True
+        )
+        _stream(store_a, root_a, seed + 1, steps)
+        with dispatcher.batch():
+            _stream(store_b, root_b, seed + 1, steps)
+        for individual, dispatched in zip(views_a, views_b):
+            assert dispatched.members() == individual.members()
+            report = check_consistency(dispatched)
+            assert report.ok, report.describe()
+
+
+class TestCoalescing:
+    def test_insert_then_delete_cancels(self):
+        assert coalesce_updates([Insert("p", "c"), Delete("p", "c")]) == []
+
+    def test_delete_then_reinsert_cancels(self):
+        assert coalesce_updates([Delete("p", "c"), Insert("p", "c")]) == []
+
+    def test_odd_parity_keeps_last_op(self):
+        flips = [Insert("p", "c"), Delete("p", "c"), Insert("p", "c")]
+        assert coalesce_updates(flips) == [Insert("p", "c")]
+
+    def test_modify_chain_folds_to_first_old_last_new(self):
+        chain = [Modify("x", 1, 2), Modify("x", 2, 3), Modify("x", 3, 7)]
+        assert coalesce_updates(chain) == [Modify("x", 1, 7)]
+
+    def test_modify_roundtrip_vanishes(self):
+        assert coalesce_updates([Modify("x", 1, 2), Modify("x", 2, 1)]) == []
+
+    def test_distinct_edges_untouched_and_order_preserved(self):
+        batch = [Delete("p", "c"), Insert("q", "c"), Modify("x", 1, 2)]
+        assert coalesce_updates(batch) == batch
+
+    def test_survivor_sits_at_last_occurrence(self):
+        batch = [
+            Modify("x", 1, 2),
+            Delete("p", "c"),
+            Modify("x", 2, 3),
+        ]
+        # The folded modify lands where its last op was: after the delete.
+        assert coalesce_updates(batch) == [
+            Delete("p", "c"),
+            Modify("x", 1, 3),
+        ]
+
+    def test_counter_charged_for_removals(self):
+        counters = ObjectStore().counters
+        coalesce_updates(
+            [Insert("p", "c"), Delete("p", "c"), Modify("x", 1, 2)],
+            counters=counters,
+        )
+        assert counters.updates_coalesced == 2
+
+
+class TestBatchedCascadingDeletes:
+    """Deletes dispatched against the final batch state are
+    history-dependent: a later update may mutate the subtree an earlier
+    delete detached, so witness-driven discovery under-approximates.
+    These pin the purge semantics that keep batches ≡ streaming."""
+
+    def _catalog(self):
+        catalog = ViewCatalog()
+        catalog.store.add_tree(
+            (
+                "root0",
+                "root",
+                [("A", "a", [("B", "b", [("C", "c", 60)])])],
+            )
+        )
+        return catalog
+
+    def test_detach_then_subdelete_purges_deep_member(self):
+        catalog = self._catalog()
+        catalog.define("define mview V as: SELECT root0.a.b X")
+        assert catalog.materialized_views["V"].contains("B")
+        # Detach A's subtree, then cut B loose from the detached A: at
+        # the final state B is no longer under A, so the first delete's
+        # subtree walk cannot find it.
+        catalog.apply_batch([Delete("root0", "A"), Delete("A", "B")])
+        assert not catalog.materialized_views["V"].contains("B")
+        assert catalog.check("V").ok
+
+    def test_detach_then_witness_delete_purges_member_above(self):
+        catalog = ViewCatalog()
+        catalog.store.add_tree(
+            ("root0", "root", [("A", "a", [("B", "b", 60)])])
+        )
+        catalog.define("define mview V as: SELECT root0.a X WHERE X.b > 5")
+        assert catalog.materialized_views["V"].contains("A")
+        # A's witness B is gone by the time the outer delete runs, so
+        # witness-driven eviction finds nothing; the purge must still
+        # remove A (it sits inside the detached subtree).
+        catalog.apply_batch([Delete("root0", "A"), Delete("A", "B")])
+        assert not catalog.materialized_views["V"].contains("A")
+        assert catalog.check("V").ok
+
+    def test_lost_witness_reeval_without_shortcut(self):
+        catalog = self._catalog()
+        catalog.define(
+            "define mview V as: SELECT root0.a X WHERE X.b.c > 5"
+        )
+        assert catalog.materialized_views["V"].contains("A")
+        # The witness C is detached first, then B: at dispatch time
+        # eval(B, "c") is empty, so the no-lost-witness shortcut would
+        # wrongly skip re-evaluating the surviving ancestor A.
+        catalog.apply_batch([Delete("B", "C"), Delete("A", "B")])
+        assert not catalog.materialized_views["V"].contains("A")
+        assert catalog.check("V").ok
+
+    def test_moved_parent_still_purges(self):
+        catalog = self._catalog()
+        catalog.store.add_set("D", "d")
+        catalog.store.insert_edge("root0", "D")
+        catalog.define("define mview V as: SELECT root0.a.b X")
+        assert catalog.materialized_views["V"].contains("B")
+        # B is cut from A, then A itself moves under D: A's *final*
+        # root path (d.a) no longer lines up with the view, so any
+        # final-path screen would wrongly drop the first delete.
+        catalog.apply_batch(
+            [Delete("A", "B"), Delete("root0", "A"), Insert("D", "A")]
+        )
+        assert not catalog.materialized_views["V"].contains("B")
+        assert catalog.check("V").ok
+
+    def test_extended_detach_then_subdelete(self):
+        catalog = self._catalog()
+        catalog.define("define mview V as: SELECT root0.* X WHERE X.c > 50")
+        assert catalog.materialized_views["V"].contains("B")
+        catalog.apply_batch([Delete("root0", "A"), Delete("A", "B")])
+        assert not catalog.materialized_views["V"].contains("B")
+        assert catalog.check("V").ok
+
+
+def _two_branch_catalog():
+    catalog = ViewCatalog()
+    catalog.store.add_tree(
+        (
+            "ROOT",
+            "root",
+            [
+                ("A1", "a", [("A1v", "val", 10)]),
+                ("B1", "b", [("B1v", "val", 99)]),
+            ],
+        )
+    )
+    catalog.define("define mview VA as: SELECT ROOT.a X WHERE X.val > 5")
+    catalog.define("define mview VB as: SELECT ROOT.b X WHERE X.val > 5")
+    return catalog
+
+
+class TestScreeningAndCaching:
+    def test_incompatible_update_is_screened(self):
+        catalog = _two_branch_catalog()
+        s = catalog.store
+        before = s.counters.updates_screened
+        s.add_atomic("A2v", "val", 50)
+        s.insert_edge("A1", "A2v")  # on VA's path, off VB's
+        assert s.counters.updates_screened > before
+        reports = catalog.check_all()
+        assert all(r.ok for r in reports.values())
+
+    def test_screened_update_costs_no_base_accesses(self):
+        catalog = _two_branch_catalog()
+        s = catalog.store
+        s.add_set("C1", "c")  # label on no view's path, not a member
+        snapshot = s.counters.snapshot()
+        s.insert_edge("ROOT", "C1")
+        delta = s.counters.delta_since(snapshot)
+        # Both views screened; the apply itself writes, never reads base.
+        assert delta.updates_screened == 2
+        assert delta.object_reads == 0
+        assert delta.edge_traversals == 0
+        assert delta.object_scans == 0
+
+    def test_chain_cache_hit_on_repeated_maintenance(self):
+        catalog = _two_branch_catalog()
+        s = catalog.store
+        s.modify_value("A1v", 20)  # first: cold chain walk
+        before = s.counters.chain_cache_hits
+        s.modify_value("A1v", 30)  # second: memoized chain
+        assert s.counters.chain_cache_hits > before
+        assert all(r.ok for r in catalog.check_all().values())
+
+    def test_chain_cache_invalidated_by_structural_update(self):
+        catalog = _two_branch_catalog()
+        s = catalog.store
+        s.modify_value("A1v", 20)
+        s.delete_edge("A1", "A1v")  # structural: cached chains dropped
+        s.add_atomic("A4v", "val", 88)
+        s.insert_edge("A1", "A4v")
+        assert all(r.ok for r in catalog.check_all().values())
+        assert catalog.materialized_views["VA"].contains("A1")
+
+    def test_catalog_batch_coalesces(self):
+        catalog = _two_branch_catalog()
+        s = catalog.store
+        s.add_atomic("A2v", "val", 70)
+        applied = catalog.apply_batch(
+            [
+                Insert("A1", "A2v"),
+                Delete("A1", "A2v"),
+                Modify("A1v", 10, 3),
+                Modify("A1v", 3, 80),
+            ]
+        )
+        assert applied == 4
+        assert s.counters.updates_coalesced == 3
+        assert all(r.ok for r in catalog.check_all().values())
+
+    def test_batch_flushes_even_when_body_raises(self):
+        catalog = _two_branch_catalog()
+        s = catalog.store
+        with pytest.raises(RuntimeError, match="boom"):
+            with catalog.dispatcher.batch():
+                s.modify_value("A1v", 2)
+                raise RuntimeError("boom")
+        # The applied update was still dispatched on exit.
+        assert all(r.ok for r in catalog.check_all().values())
+
+
+class TestPathContext:
+    def test_paths_computed_once_per_context(self):
+        store, root = random_labelled_tree(
+            nodes=30, labels=("a", "b", "c"), seed=5
+        )
+        index = ParentIndex(store, chain_cache=False)
+        context = PathContext(store, index)
+
+        def depth(oid):
+            steps = 0
+            while (oid := index.parent(oid)) is not None:
+                steps += 1
+            return steps
+
+        leaf = max(store.oids(), key=depth)
+        first = context.path_between(root, leaf)
+        snapshot = store.counters.snapshot()
+        second = context.path_between(root, leaf)
+        delta = store.counters.delta_since(snapshot)
+        assert second == first
+        assert delta.total_base_accesses() == 0
+
+    def test_label_lookup_is_uncharged(self):
+        store = ObjectStore()
+        store.add_atomic("x", "a", 1)
+        context = PathContext(store)
+        snapshot = store.counters.snapshot()
+        assert context.label("x") == "a"
+        assert context.label("missing") is None
+        assert store.counters.delta_since(snapshot).object_reads == 0
+
+
+class TestWarehouseBatch:
+    def test_process_batch_coalesces_and_maintains(self):
+        store = ObjectStore()
+        store.add_tree(
+            (
+                "root0",
+                "root",
+                [
+                    ("A1", "a", [("A1b", "b", 60)]),
+                    ("A2", "a", [("A2b", "b", 10)]),
+                ],
+            )
+        )
+        warehouse = Warehouse()
+        warehouse.connect(
+            Source("S1", store, "root0"), level=ReportingLevel.WITH_PATHS
+        )
+        wview = warehouse.define_view(
+            "define mview V as: SELECT root0.a X WHERE X.b > 50", "S1"
+        )
+        assert wview.members() == {"A1"}
+        survivors = warehouse.process_batch(
+            "S1",
+            [
+                Delete("A1", "A1b"),
+                Insert("A1", "A1b"),
+                Modify("A2b", 10, 80),
+                Modify("A2b", 80, 90),
+            ],
+        )
+        assert survivors == [Modify("A2b", 10, 90)]
+        assert wview.members() == {"A1", "A2"}

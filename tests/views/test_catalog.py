@@ -77,7 +77,7 @@ class TestMaintenanceThroughCatalog:
             "define mview A as: SELECT ROOT.professor X WHERE X.age <= 45"
         )
         # Detach its maintainer, desync, then force recompute.
-        catalog.store.unsubscribe(catalog.maintainers["A"].handle)
+        catalog.dispatcher.unregister(catalog.maintainers["A"])
         s.modify_value("A1", 99)
         assert not catalog.check("A").ok
         catalog.recompute("A")
