@@ -28,7 +28,12 @@ Counter charging, per function
   accesses; a cold chain charges the classic upward walk (one
   ``object_reads`` + ``index_probes`` per node, one ``edge_traversals``
   per hop).  Without an index, a downward DFS charging one
-  ``edge_traversals`` + ``object_reads`` per edge examined.
+  ``edge_traversals`` + ``object_reads`` per edge examined.  The
+  downward searches expand children in ascending OID order (like
+  :func:`all_paths_between`) so their access counts are deterministic
+  across runs and hash seeds — they stop early on finding the target,
+  and an unordered walk would turn every benchmark count into an
+  iteration-order lottery.
 * :func:`ancestor_by_path` / :func:`ancestors_by_path` — one
   ``object_reads`` per node visited, one ``edge_traversals`` per upward
   hop, ``index_probes`` inside the parent lookups.
@@ -154,7 +159,8 @@ def is_reachable(store: ObjectStore, start: str, target: str) -> bool:
         obj = store.get_optional(oid)
         if obj is None or not obj.is_set:
             continue
-        for child in obj.children():
+        # Sorted for deterministic counts under the early exit.
+        for child in sorted(obj.children(), reverse=True):
             store.counters.edge_traversals += 1
             if child == target:
                 return True
@@ -228,6 +234,9 @@ def _path_downward(
 ) -> list[str] | None:
     # Iterative DFS carrying the label path; trees have a unique answer,
     # and we guard against cycles so misuse degrades gracefully.
+    # Children are pushed in reverse-sorted order so the stack pops them
+    # ascending — the early exit below would otherwise make the charged
+    # edge_traversals depend on set iteration order (PYTHONHASHSEED).
     stack: list[tuple[str, list[str]]] = [(ancestor, [])]
     seen: set[str] = {ancestor}
     while stack:
@@ -235,7 +244,7 @@ def _path_downward(
         obj = store.get_optional(oid)
         if obj is None or not obj.is_set:
             continue
-        for child in obj.children():
+        for child in sorted(obj.children(), reverse=True):
             store.counters.edge_traversals += 1
             child_obj = store.get_optional(child)
             if child_obj is None:
@@ -377,7 +386,8 @@ def _node_at_depth(
     *descendant* (tree bases)."""
     if depth == 0:
         return root
-    # DFS remembering the OID chain.
+    # DFS remembering the OID chain; reverse-sorted push = ascending
+    # exploration, keeping counts deterministic (see _path_downward).
     stack: list[tuple[str, list[str]]] = [(root, [root])]
     seen = {root}
     while stack:
@@ -385,7 +395,7 @@ def _node_at_depth(
         obj = store.get_optional(oid)
         if obj is None or not obj.is_set:
             continue
-        for child in obj.children():
+        for child in sorted(obj.children(), reverse=True):
             store.counters.edge_traversals += 1
             new_chain = chain + [child]
             if child == descendant:
@@ -431,6 +441,8 @@ def chain_between(
             current = parent
         chain.reverse()
         return chain
+    # Reverse-sorted push = ascending exploration, keeping counts
+    # deterministic under the early exit (see _path_downward).
     stack: list[tuple[str, list[str]]] = [(ancestor, [ancestor])]
     seen = {ancestor}
     while stack:
@@ -438,7 +450,7 @@ def chain_between(
         obj = store.get_optional(oid)
         if obj is None or not obj.is_set:
             continue
-        for child in obj.children():
+        for child in sorted(obj.children(), reverse=True):
             store.counters.edge_traversals += 1
             if child == descendant:
                 return chain + [child]
