@@ -1,0 +1,55 @@
+"""Fault injection for the warehouse protocol (experiment E15).
+
+The paper's Section 5 architecture assumes a reliable channel between
+source monitors and the warehouse.  This package removes that
+assumption so the recovery machinery in :mod:`repro.warehouse` can be
+exercised and audited:
+
+* :mod:`repro.chaos.faults` — deterministic, seeded fault schedules
+  (drop / duplicate / reorder / delay / source crash / query timeout),
+  recorded as they are drawn so any run can be replayed exactly.
+* :mod:`repro.chaos.channel` — :class:`~repro.chaos.channel.FaultyChannel`,
+  the transport wrapping the monitor→warehouse path and the
+  query/answer exchange, with a simulated clock for time-based
+  recovery.
+* :mod:`repro.chaos.oracle` — the quiescence consistency oracle: after
+  the channel drains, every materialized view must be byte-equal to a
+  fresh recomputation against the current source truth.
+* :mod:`repro.chaos.harness` — :class:`~repro.chaos.harness.ChaosHarness`,
+  a seeded end-to-end run: random tree, random update workload, faulty
+  channel, drain + heal, oracle audit, recovery-cost report.
+"""
+
+from repro.chaos.channel import ChannelStats, FaultyChannel
+from repro.chaos.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultRates,
+    FaultSchedule,
+    RecordedSchedule,
+)
+from repro.chaos.harness import ChaosHarness, ChaosReport
+from repro.chaos.oracle import (
+    ViewAudit,
+    assert_quiescent,
+    audit_view,
+    check_catalog,
+    check_quiescence,
+)
+
+__all__ = [
+    "ChannelStats",
+    "ChaosHarness",
+    "ChaosReport",
+    "FaultEvent",
+    "FaultKind",
+    "FaultRates",
+    "FaultSchedule",
+    "FaultyChannel",
+    "RecordedSchedule",
+    "ViewAudit",
+    "assert_quiescent",
+    "audit_view",
+    "check_catalog",
+    "check_quiescence",
+]

@@ -1,0 +1,187 @@
+"""The faulty transport between a source monitor and the warehouse.
+
+:class:`FaultyChannel` sits on the two paths the warehouse protocol
+uses (paper Figure 6):
+
+* **notifications** (monitor → warehouse): :meth:`FaultyChannel.send`
+  registers as the monitor's sink and forwards to the warehouse's
+  ingress, applying one drawn :class:`~repro.chaos.faults.FaultEvent`
+  per message — drop, duplicate, delay (reorder), or a source crash;
+* **queries** (warehouse → source → warehouse):
+  :meth:`FaultyChannel.attach_link` installs the channel as the link's
+  ``fault_injector`` (answers may be lost *after* the source served the
+  query) and as its ``clock`` (backoff waits advance simulated time, so
+  crashed sources can come back while the link retries).
+
+Everything is synchronous and deterministic: "time" is a float the
+channel owns, advanced only by retry backoff and by :meth:`drain`.
+Held messages are released after a *message count*, not a time, which
+keeps reordering schedules independent of the retry policy in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import QueryTimeoutError
+from repro.chaos.faults import FaultKind
+from repro.warehouse.monitor import Monitor
+from repro.warehouse.protocol import SourceQuery, UpdateNotification
+from repro.warehouse.source import Source
+from repro.warehouse.wrapper import SourceLink
+
+
+@dataclass
+class ChannelStats:
+    """What the channel did to the traffic that crossed it."""
+
+    sent: int = 0  # notifications the monitor handed to the channel
+    delivered: int = 0  # deliveries to the warehouse (incl. duplicates)
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    released: int = 0  # held messages that reached the warehouse late
+    crashes: int = 0
+    recoveries: int = 0
+    query_timeouts: int = 0  # answers lost after the source served
+
+
+class FaultyChannel:
+    """A deterministic fault injector for one source's traffic.
+
+    Args:
+        schedule: anything with ``message_fault()`` / ``query_fault()``
+            (:class:`~repro.chaos.faults.FaultSchedule` or
+            :class:`~repro.chaos.faults.RecordedSchedule`).
+    """
+
+    def __init__(self, schedule) -> None:
+        self.schedule = schedule
+        self.monitor: Monitor | None = None
+        self.sink: Callable[..., None] | None = None
+        self.stats = ChannelStats()
+        self.clock = 0.0
+        #: while False the channel is a clean pipe (no fault draws) —
+        #: harnesses disarm it during setup (view definition, cache
+        #: seeding) so chaos starts from a consistent steady state.
+        self.armed = True
+        self._held: list[list] = []  # [sends-remaining, notification]
+        self._down: list[tuple[Source, float]] = []  # (source, recover_at)
+
+    # -- wiring (the Warehouse.connect duck-type contract) ---------------------
+
+    def bind(self, monitor: Monitor, sink: Callable[..., None]) -> None:
+        """Interpose on the monitor→warehouse path: the monitor ships
+        into the channel, the channel forwards (or not) to *sink*."""
+        self.monitor = monitor
+        self.sink = sink
+        monitor.register(self.send)
+
+    def attach_link(self, link: SourceLink) -> None:
+        """Interpose on the query path and drive the link's clock."""
+        link.fault_injector = self.on_query
+        link.clock = self.advance
+
+    # -- notification path -----------------------------------------------------
+
+    def send(self, notification: UpdateNotification) -> None:
+        """Carry one notification, applying the next scheduled fault."""
+        self.stats.sent += 1
+        if not self.armed:
+            self._deliver(notification)
+            return
+        self._tick_holds()
+        event = self.schedule.message_fault()
+        kind = event.kind
+        if kind is FaultKind.DROP:
+            self.stats.dropped += 1
+            return
+        if kind is FaultKind.DELAY:
+            self.stats.delayed += 1
+            self._held.append([event.hold, notification])
+            return
+        if kind is FaultKind.CRASH:
+            # The update committed before the crash, so its notification
+            # still gets out; only query service stops.
+            self.stats.crashes += 1
+            source = self.monitor.source if self.monitor is not None else None
+            if source is not None and not source.crashed:
+                source.crash()
+                self._down.append((source, self.clock + event.downtime))
+            self._deliver(notification)
+            return
+        if kind is FaultKind.DUPLICATE:
+            self.stats.duplicated += 1
+            self._deliver(notification)
+        self._deliver(notification)
+
+    def _deliver(self, notification: UpdateNotification, *, late: bool = False) -> None:
+        self.stats.delivered += 1
+        if self.sink is not None:
+            self.sink(notification, late=late)
+
+    def _tick_holds(self) -> None:
+        """One send elapsed: age held messages, release the due ones."""
+        due: list[UpdateNotification] = []
+        remaining: list[list] = []
+        for item in self._held:
+            item[0] -= 1
+            if item[0] <= 0:
+                due.append(item[1])
+            else:
+                remaining.append(item)
+        self._held = remaining
+        for notification in due:
+            self.stats.released += 1
+            self._deliver(notification, late=True)
+
+    # -- query path ------------------------------------------------------------
+
+    def on_query(self, query: SourceQuery) -> None:
+        """Link hook, called after every *served* query: may lose the
+        answer (the timeout-then-late-reply race; the source-side work
+        already happened and is charged)."""
+        if not self.armed:
+            return
+        if self.schedule.query_fault():
+            self.stats.query_timeouts += 1
+            raise QueryTimeoutError(
+                f"answer to {query.kind.value}({query.target!r}) lost in flight"
+            )
+
+    # -- simulated time ----------------------------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        """Let *seconds* of simulated time pass (backoff waits route
+        here), recovering any source whose downtime has elapsed."""
+        self.clock += seconds
+        still_down: list[tuple[Source, float]] = []
+        for source, recover_at in self._down:
+            if recover_at <= self.clock:
+                source.recover()
+                self.stats.recoveries += 1
+            else:
+                still_down.append((source, recover_at))
+        self._down = still_down
+
+    # -- quiescing ---------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is in flight: no held messages, no downed
+        sources."""
+        return not self._held and not self._down
+
+    def drain(self) -> int:
+        """Quiesce the channel: let enough time pass for every downed
+        source to recover, then release every held message (late).
+        Returns the number of messages released."""
+        if self._down:
+            horizon = max(recover_at for _, recover_at in self._down)
+            self.advance(horizon - self.clock)
+        held, self._held = self._held, []
+        for _, notification in held:
+            self.stats.released += 1
+            self._deliver(notification, late=True)
+        return len(held)

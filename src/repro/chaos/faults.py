@@ -1,0 +1,187 @@
+"""Deterministic fault schedules for the warehouse protocol.
+
+A schedule answers two questions the :class:`~repro.chaos.channel.
+FaultyChannel` asks: *what happens to this notification?* (``
+message_fault``) and *is this query's answer lost?* (``query_fault``).
+Draws come from one seeded RNG and every answer is appended to
+:attr:`FaultSchedule.record`, so a run can be replayed exactly with
+:class:`RecordedSchedule` — the property suite shrinks over seeds, the
+regression suite scripts exact event sequences.
+
+Message faults:
+
+``DROP``       the notification vanishes; the warehouse sees a gap and
+               must replay it from the monitor's history at heal time.
+``DUPLICATE``  delivered twice; the warehouse's sequence-number dedup
+               must drop the second copy.
+``DELAY``      held back for ``hold`` subsequent sends, then released —
+               the reordering fault (the warehouse parks newer
+               notifications until the gap fills).
+``CRASH``      the source crashes right after committing the update
+               (mid-batch from the workload's point of view); the
+               notification is still delivered, but every source query
+               fails until ``downtime`` simulated seconds pass.
+``DELIVER``    no fault.
+
+Query faults are booleans: ``True`` means the answer was lost in flight
+*after* the source served the query (the timeout-then-late-reply race —
+the source did the work, the warehouse must retry).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class FaultKind(enum.Enum):
+    """What happens to one monitor→warehouse message."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    DUPLICATE = "duplicate"
+    DELAY = "delay"
+    CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One drawn message fault.
+
+    ``hold`` (DELAY) is how many subsequent sends pass before release;
+    ``downtime`` (CRASH) is simulated seconds until the source recovers.
+    """
+
+    kind: FaultKind
+    hold: int = 0
+    downtime: float = 0.0
+
+
+DELIVER = FaultEvent(FaultKind.DELIVER)
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-message (and per-query) fault probabilities.
+
+    ``drop``/``duplicate``/``reorder``/``crash`` partition the message
+    draw; their sum must stay ≤ 1 (the rest delivers cleanly).
+    ``timeout`` is the independent per-query answer-loss probability.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    crash: float = 0.0
+    timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "crash", "timeout"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate {name}={rate} outside [0, 1]")
+        if self.message_total() > 1.0:
+            raise ValueError(
+                f"message fault rates sum to {self.message_total()} > 1"
+            )
+
+    def message_total(self) -> float:
+        return self.drop + self.duplicate + self.reorder + self.crash
+
+
+class FaultSchedule:
+    """Seeded fault draws, recorded for exact replay.
+
+    Determinism: two schedules with equal *rates*, *seed*, *max_hold*
+    and *downtime* answer identical query/message sequences with
+    identical events — the property suite's shrinking and the CI's
+    fixed-seed runs both rely on it.
+    """
+
+    def __init__(
+        self,
+        rates: FaultRates,
+        seed: int = 0,
+        *,
+        max_hold: int = 4,
+        downtime: float = 2.0,
+    ) -> None:
+        self.rates = rates
+        self.seed = seed
+        self.max_hold = max_hold
+        self.downtime = downtime
+        self._rng = random.Random(seed)
+        #: every draw, in order: ``("message", FaultEvent)`` or
+        #: ``("query", bool)`` — feed to :class:`RecordedSchedule`.
+        self.record: list[tuple[str, object]] = []
+
+    def message_fault(self) -> FaultEvent:
+        """Draw the fate of one notification."""
+        rates = self.rates
+        draw = self._rng.random()
+        if draw < rates.drop:
+            event = FaultEvent(FaultKind.DROP)
+        elif draw < rates.drop + rates.duplicate:
+            event = FaultEvent(FaultKind.DUPLICATE)
+        elif draw < rates.drop + rates.duplicate + rates.reorder:
+            event = FaultEvent(
+                FaultKind.DELAY, hold=self._rng.randint(1, self.max_hold)
+            )
+        elif draw < rates.message_total():
+            event = FaultEvent(FaultKind.CRASH, downtime=self.downtime)
+        else:
+            event = DELIVER
+        self.record.append(("message", event))
+        return event
+
+    def query_fault(self) -> bool:
+        """Draw whether one query's answer is lost in flight."""
+        lost = self._rng.random() < self.rates.timeout
+        self.record.append(("query", lost))
+        return lost
+
+
+class RecordedSchedule:
+    """Replays a recorded (or hand-scripted) fault sequence.
+
+    Message and query events are kept in separate queues so a replay
+    does not depend on the exact interleaving of draws; once a queue is
+    exhausted the schedule behaves fault-free.
+    """
+
+    def __init__(self, record: Iterable[tuple[str, object]] = ()) -> None:
+        self._messages: deque[FaultEvent] = deque()
+        self._queries: deque[bool] = deque()
+        for tag, event in record:
+            if tag == "message":
+                self._messages.append(event)  # type: ignore[arg-type]
+            elif tag == "query":
+                self._queries.append(bool(event))
+            else:
+                raise ValueError(f"unknown fault record tag {tag!r}")
+        self.record: list[tuple[str, object]] = []
+
+    @classmethod
+    def scripted(
+        cls,
+        messages: Iterable[FaultEvent] = (),
+        queries: Iterable[bool] = (),
+    ) -> "RecordedSchedule":
+        """Build a schedule from explicit per-message / per-query lists."""
+        schedule = cls()
+        schedule._messages = deque(messages)
+        schedule._queries = deque(queries)
+        return schedule
+
+    def message_fault(self) -> FaultEvent:
+        event = self._messages.popleft() if self._messages else DELIVER
+        self.record.append(("message", event))
+        return event
+
+    def query_fault(self) -> bool:
+        lost = bool(self._queries.popleft()) if self._queries else False
+        self.record.append(("query", lost))
+        return lost

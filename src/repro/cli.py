@@ -30,6 +30,7 @@ Commands (``help`` prints this at the prompt):
 ``members NAME``         list a view's members
 ``check [NAME]``         audit one view (or all) against recomputation
 ``counters``             show cost counters
+``chaos [SEED [STEPS [RATE [LEVEL]]]]``  run a fault-injection round
 ``quit`` / EOF           leave
 
 The shell is deliberately a thin veneer over :class:`ViewCatalog`; it
@@ -92,6 +93,7 @@ class Shell:
             "members": self.cmd_members,
             "check": self.cmd_check,
             "counters": self.cmd_counters,
+            "chaos": self.cmd_chaos,
             "help": self.cmd_help,
         }
 
@@ -287,6 +289,24 @@ class Shell:
             return
         for key, value in counters.items():
             self._print(f"{key}: {value:,}")
+
+    def cmd_chaos(self, args: list[str]) -> None:
+        """chaos [SEED [STEPS [RATE [LEVEL]]]] — a self-contained
+        fault-injection round on a synthetic warehouse (not the shell's
+        catalog): RATE applies to drop/duplicate/reorder alike, LEVEL is
+        the reporting level (1/2/3)."""
+        from repro.chaos import ChaosHarness
+        from repro.workloads.faults import uniform_rates
+
+        seed = int(args[0]) if len(args) > 0 else 0
+        steps = int(args[1]) if len(args) > 1 else 80
+        rate = float(args[2]) if len(args) > 2 else 0.1
+        level = int(args[3]) if len(args) > 3 else 2
+        harness = ChaosHarness(seed=seed, level=level, rates=uniform_rates(rate))
+        report = harness.run(steps)
+        self._print(report.describe())
+        for audit in report.audits.values():
+            self._print(f"  {audit.describe()}")
 
     def cmd_help(self, args: list[str]) -> None:
         self._print(__doc__.split("Commands", 1)[1].split("::", 1)[0])

@@ -155,3 +155,28 @@ class CapabilityError(WarehouseError):
 
 class ProtocolError(WarehouseError):
     """A malformed or out-of-order warehouse protocol message."""
+
+
+class SourceUnavailableError(WarehouseError):
+    """A source could not be reached (crashed or partitioned).
+
+    Raised by :meth:`~repro.warehouse.source.Source.serve` while the
+    source is down, and re-raised by
+    :meth:`~repro.warehouse.wrapper.SourceLink.ask` once its retry
+    budget is exhausted.
+    """
+
+    def __init__(self, source_id: str) -> None:
+        super().__init__(f"source {source_id!r} is unavailable")
+        self.source_id = source_id
+
+
+class QueryTimeoutError(WarehouseError):
+    """A source query timed out: the source may have served it, but the
+    answer was lost in flight (the timeout-then-late-reply race).  The
+    query is read-only, so retrying is always safe."""
+
+
+class QuiescenceError(WarehouseError):
+    """The quiescence oracle found a maintained view that differs from
+    fresh recomputation after the update channel drained."""

@@ -26,10 +26,26 @@ Counter semantics
                       label/prefix screen with zero base accesses
 ``updates_coalesced`` updates removed from a batch by coalescing
                       (cancelled edge pairs, folded modify chains)
+``query_retries``     source-query attempts repeated after a timeout or
+                      outage (the backoff state machine, experiment E15)
+``query_timeouts``    source answers lost in flight (injected timeouts)
+``source_failures``   queries that found the source down
+``notifications_deduped`` duplicate deliveries dropped: notifications
+                      caught by the warehouse's sequence-number dedup,
+                      and re-delivered updates screened out by
+                      ``screen_replayed`` before application
+``notifications_replayed`` lost notifications retransmitted from the
+                      monitor's history during gap-detection resync
+``view_resyncs``      warehouse views rebuilt by full recomputation
+                      because replay was impossible
 
 The cache/screening counters are bookkeeping, not base accesses, so
 they do not contribute to :meth:`CostCounters.total_base_accesses` —
 they exist to *explain* why base accesses went down (experiment E14).
+The recovery counters (retries, dedups, replays, resyncs) likewise are
+event counts, not base accesses; the base accesses a recovery action
+*causes* (e.g. a resync's recomputation) are charged where they happen
+and show up in the usual read/query counters (experiment E15).
 """
 
 from __future__ import annotations
@@ -61,6 +77,12 @@ class CostCounters:
     chain_cache_misses: int = 0
     updates_screened: int = 0
     updates_coalesced: int = 0
+    query_retries: int = 0
+    query_timeouts: int = 0
+    source_failures: int = 0
+    notifications_deduped: int = 0
+    notifications_replayed: int = 0
+    view_resyncs: int = 0
     notes: dict[str, int] = field(default_factory=dict)
 
     # -- arithmetic --------------------------------------------------------

@@ -36,7 +36,7 @@ from repro.query.parser import parse_query
 from repro.views.consistency import ConsistencyReport, check_consistency
 from repro.views.dag import DagCountingMaintainer
 from repro.views.definition import ViewDefinition
-from repro.views.dispatcher import MaintenanceDispatcher
+from repro.views.dispatcher import MaintenanceDispatcher, screen_replayed
 from repro.views.extended import ExtendedViewMaintainer
 from repro.views.maintenance import SimpleViewMaintainer
 from repro.views.materialized import MaterializedView, SwizzleMode
@@ -331,14 +331,24 @@ class ViewCatalog:
         modify chains folded — and dispatched against the final state.
         Returns the number of updates applied.
 
+        Re-delivering an already-applied batch (or a prefix of one) is
+        a no-op: updates whose effect the store already reflects are
+        screened out by
+        :func:`~repro.views.dispatcher.screen_replayed` before
+        application, so at-least-once delivery upstream cannot trigger
+        ``InvalidUpdateError`` double-apply failures.
+
         Limitation: :class:`~repro.views.aggregate.AggregateView`
         instances subscribe to the base store directly and therefore
         observe batched updates against not-yet-maintained membership;
         call their ``refresh_all()`` after a batch that may affect
         their underlying view.
         """
+        fresh = screen_replayed(
+            self.store, updates, counters=self.store.counters
+        )
         with self.dispatcher.batch():
-            return self.store.apply_all(updates)
+            return self.store.apply_all(fresh)
 
     def check(self, name: str) -> ConsistencyReport:
         """Audit a materialized view against recomputation."""

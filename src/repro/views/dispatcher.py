@@ -279,6 +279,78 @@ class _ExtendedScreen:
 
 
 # ---------------------------------------------------------------------------
+# replay screening (at-least-once delivery)
+# ---------------------------------------------------------------------------
+
+
+def screen_replayed(
+    store, updates: Iterable[Update], *, counters=None
+) -> list[Update]:
+    """Drop updates whose effect is already reflected in *store*.
+
+    At-least-once delivery means a batch may be a partial or complete
+    re-delivery of work the store already applied.  An ``Insert`` whose
+    edge exists, a ``Delete`` whose edge is absent, and a ``Modify``
+    whose object already carries the new value are exactly such
+    replays — ``ObjectStore.apply`` would reject them with
+    :class:`~repro.errors.InvalidUpdateError`, turning an idempotent
+    retry into a crash.  The screen simulates the batch over an overlay
+    of the store's current state (via the uncharged ``peek``) so
+    intra-batch sequencing like delete-then-reinsert survives intact,
+    and returns only the updates that still have an effect.
+
+    Only *exact* replays are screened.  A genuinely conflicting update
+    (e.g. an ``Insert`` of an absent edge whose parent is missing, or a
+    ``Modify`` whose old value matches neither the stored nor the new
+    value) is kept so the store raises — replay tolerance must not mask
+    real protocol errors.
+
+    Charges ``notifications_deduped`` on *counters* for every update
+    screened out.
+    """
+    updates = list(updates)
+    peek = getattr(store, "peek", None) or store.get_optional
+    edges: dict[tuple[str, str], bool] = {}
+    values: dict[str, object] = {}
+
+    def edge_present(parent: str, child: str) -> bool:
+        key = (parent, child)
+        if key not in edges:
+            obj = peek(parent)
+            edges[key] = (
+                obj is not None and obj.is_set and child in obj.children()
+            )
+        return edges[key]
+
+    def current_value(oid: str) -> object:
+        if oid not in values:
+            obj = peek(oid)
+            values[oid] = (
+                None if obj is None or obj.is_set else obj.atomic_value()
+            )
+        return values[oid]
+
+    survivors: list[Update] = []
+    for update in updates:
+        if isinstance(update, Insert):
+            if edge_present(update.parent, update.child):
+                continue  # edge already in place: a replay
+            edges[(update.parent, update.child)] = True
+        elif isinstance(update, Delete):
+            if not edge_present(update.parent, update.child):
+                continue  # edge already gone: a replay
+            edges[(update.parent, update.child)] = False
+        elif isinstance(update, Modify):
+            if current_value(update.oid) == update.new_value:
+                continue  # value already current: a replay (or no-op)
+            values[update.oid] = update.new_value
+        survivors.append(update)
+    if counters is not None:
+        counters.notifications_deduped += len(updates) - len(survivors)
+    return survivors
+
+
+# ---------------------------------------------------------------------------
 # batch coalescing
 # ---------------------------------------------------------------------------
 

@@ -113,6 +113,17 @@ class AuxiliaryCache:
             frontier = next_frontier
         return len(self.entries)
 
+    def reseed(self) -> int:
+        """Drop every entry and rebuild the region from the source.
+
+        Used by view resync after lost notifications: the cache is
+        another materialized view (Section 5.2), so when its update
+        stream has gaps it must be recomputed just like the view.
+        Returns the number of cached entries.
+        """
+        self.entries.clear()
+        return self.seed()
+
     def _admit(
         self, payload: ObjectPayload, *, depth: int, parent: str | None
     ) -> None:

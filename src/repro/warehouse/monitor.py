@@ -7,11 +7,19 @@ reporting levels; the monitor assembles the corresponding
 :class:`~repro.warehouse.protocol.UpdateNotification` right after each
 update commits at the source (so contents and paths reflect the
 post-update state, exactly as Algorithm 1 expects).
+
+For fault recovery (experiment E15) the monitor keeps a bounded history
+of the notifications it built, keyed by sequence number.  When the
+warehouse detects a delivery gap it asks for a :meth:`Monitor.replay`
+of the missing range — O(lost messages), independent of database size —
+and only falls back to full view recomputation when the history has
+already evicted part of the range.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from collections import OrderedDict
+from typing import Callable, Iterable
 
 from repro.gsdb.updates import Update
 from repro.warehouse.protocol import (
@@ -33,17 +41,47 @@ class Monitor:
         self,
         source: Source,
         level: ReportingLevel = ReportingLevel.OIDS_ONLY,
+        *,
+        history_limit: int = 256,
     ) -> None:
         self.source = source
         self.level = ReportingLevel(level)
+        self.history_limit = history_limit
         self._sinks: list[NotificationSink] = []
         self._sequence = 0
         self._paused = 0
+        self._history: OrderedDict[int, UpdateNotification] = OrderedDict()
         source.store.subscribe(self._on_update)
 
     def register(self, sink: NotificationSink) -> None:
         """Add a warehouse-side receiver of this monitor's reports."""
         self._sinks.append(sink)
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the most recently built notification."""
+        return self._sequence
+
+    # -- replay (gap-detection resync, experiment E15) -------------------------
+
+    def replay(
+        self, sequences: Iterable[int]
+    ) -> list[UpdateNotification] | None:
+        """Retransmit past notifications by sequence number, in order.
+
+        Returns None when any requested sequence has been evicted from
+        the bounded history (the warehouse must then fall back to full
+        recomputation for the affected views).  Payloads are the ones
+        shipped originally — they reflect the source state at build
+        time, so the warehouse processes them as *stale* deliveries.
+        """
+        out: list[UpdateNotification] = []
+        for sequence in sorted(set(sequences)):
+            notification = self._history.get(sequence)
+            if notification is None:
+                return None
+            out.append(notification)
+        return out
 
     # -- pausing (bulk-update sessions, Section 6 issue 4) ---------------------
 
@@ -66,7 +104,10 @@ class Monitor:
     def _on_update(self, update: Update) -> None:
         if self._paused:
             return
-        notification = self.build_notification(update)
+        self.ship(self.build_notification(update))
+
+    def ship(self, notification: UpdateNotification) -> None:
+        """Send one built notification to every registered sink."""
         for sink in self._sinks:
             sink(notification)
 
@@ -79,7 +120,7 @@ class Monitor:
             contents = self._contents(update)
         if self.level >= ReportingLevel.WITH_PATHS:
             paths = self._paths(update)
-        return UpdateNotification(
+        notification = UpdateNotification(
             source_id=self.source.source_id,
             sequence=self._sequence,
             update=update,
@@ -87,6 +128,10 @@ class Monitor:
             contents=contents,
             paths=paths,
         )
+        self._history[self._sequence] = notification
+        while len(self._history) > self.history_limit:
+            self._history.popitem(last=False)
+        return notification
 
     def _contents(self, update: Update) -> tuple[ObjectPayload, ...]:
         payloads = []

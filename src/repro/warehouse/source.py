@@ -23,7 +23,11 @@ from __future__ import annotations
 
 import enum
 
-from repro.errors import CapabilityError, UnknownObjectError
+from repro.errors import (
+    CapabilityError,
+    SourceUnavailableError,
+    UnknownObjectError,
+)
 from repro.gsdb.indexes import ParentIndex
 from repro.gsdb.store import ObjectStore
 from repro.gsdb.traversal import follow_path, path_between
@@ -61,6 +65,28 @@ class Source:
         self.capability = capability
         self.parent_index = ParentIndex(store)
         self.queries_served = 0
+        self.queries_rejected = 0
+        self._crashed = False
+
+    # -- availability (fault injection, experiment E15) ----------------------
+
+    @property
+    def crashed(self) -> bool:
+        """True while the source is down and rejecting queries."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Take the source down: every query raises until recovery.
+
+        Local state is preserved (the store is durable); only query
+        service stops — the model behind the chaos layer's mid-batch
+        source crashes.
+        """
+        self._crashed = True
+
+    def recover(self) -> None:
+        """Bring a crashed source back up (idempotent)."""
+        self._crashed = False
 
     # -- query service -------------------------------------------------------
 
@@ -68,9 +94,13 @@ class Source:
         """Answer one warehouse query at the current source state.
 
         Raises:
+            SourceUnavailableError: while the source is crashed.
             CapabilityError: when the query exceeds the declared
                 capability (the warehouse's wrapper must decompose).
         """
+        if self._crashed:
+            self.queries_rejected += 1
+            raise SourceUnavailableError(self.source_id)
         self.queries_served += 1
         if query.kind is QueryKind.FETCH_OBJECT:
             return self._fetch_object(query.target)

@@ -23,20 +23,38 @@ We realize that literally:
 
 :class:`Warehouse` wires sources, monitors, links, caches, and views
 together and keeps per-update statistics for experiments E5/E6/E10.
+
+Fault tolerance (experiment E15): the warehouse accepts *at-least-once,
+possibly reordered* notification delivery — e.g. through a
+:class:`repro.chaos.channel.FaultyChannel` — and restores exactly-once
+in-order processing per source with a sequence-number ingress
+(:class:`_SourceIngress`): duplicates are dropped, early arrivals are
+held in a reorder buffer, and anything flushed late is processed as a
+*stale* delivery using the batch-coalescing correctness argument (the
+source state observed is newer than the one the notification was built
+in, which is exactly the situation of batched dispatch).  Delivery gaps
+are closed by :meth:`Warehouse.heal`: lost notifications are replayed
+from the monitor's bounded history — O(lost messages), independent of
+database size — and only when history has been evicted does a view fall
+back to full recomputation (:meth:`Warehouse.resync_view`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import UnknownObjectError
+from repro.errors import (
+    QueryTimeoutError,
+    SourceUnavailableError,
+    UnknownObjectError,
+)
 from repro.gsdb.object import Object
 from repro.gsdb.store import ObjectStore
 from repro.gsdb.updates import Update
 from repro.instrumentation.counters import CostCounters
 from repro.paths.path import Path
 from repro.views.definition import ViewDefinition
-from repro.views.dispatcher import coalesce_updates
+from repro.views.dispatcher import coalesce_updates, screen_replayed
 from repro.views.maintenance import SimpleViewMaintainer
 from repro.views.materialized import MaterializedView
 from repro.views.recompute import compute_view_members
@@ -50,7 +68,28 @@ from repro.warehouse.protocol import (
 )
 from repro.warehouse.schema_knowledge import PathKnowledge
 from repro.warehouse.source import Source
-from repro.warehouse.wrapper import SourceLink
+from repro.warehouse.wrapper import RetryPolicy, SourceLink
+
+
+class _StaleContext:
+    """Minimal maintenance context for out-of-order (stale) deliveries.
+
+    A late-delivered notification is processed against a source state
+    newer than the one it was built in — the same situation as batched
+    dispatch, where the base is already at the final state.  Flagging
+    ``batched`` makes the maintainer's delete handling history-aware
+    (purge-by-inspection; see
+    ``SimpleViewMaintainer._membership_after_delete``) instead of
+    witness-driven.  The chain lookups of
+    :class:`~repro.views.dispatcher.PathContext` are not needed: the
+    remote maintainer overrides every evaluation function that would
+    consult them.
+    """
+
+    batched = True
+
+
+_STALE_CONTEXT = _StaleContext()
 
 
 def _object_from_payload(payload: ObjectPayload) -> Object:
@@ -82,6 +121,12 @@ class RemoteBaseStore:
         self._negative.clear()
         for payload in notification.contents:
             self._seeds[payload.oid] = _object_from_payload(payload)
+
+    def reset(self) -> None:
+        """Forget every memoized object (used when resyncing a view:
+        memo entries may describe pre-loss state)."""
+        self._seeds.clear()
+        self._negative.clear()
 
     # -- ObjectStore read interface ----------------------------------------------
 
@@ -144,6 +189,10 @@ class RemoteParentIndex:
     def add_hint(self, child: str, parent: str) -> None:
         self._hints[child] = parent
 
+    def reset(self) -> None:
+        """Forget every memoized parent (stale-delivery hygiene)."""
+        self._hints.clear()
+
     def parent(self, oid: str) -> str | None:
         hinted = self._hints.get(oid)
         if hinted is not None:
@@ -189,19 +238,45 @@ class RemoteViewMaintainer(SimpleViewMaintainer):
 
     # -- entry point -----------------------------------------------------------
 
-    def process(self, notification: UpdateNotification) -> bool:
-        """Handle one notification; returns False when screened out."""
+    def process(
+        self, notification: UpdateNotification, *, stale: bool = False
+    ) -> bool:
+        """Handle one notification; returns False when screened out.
+
+        *stale* marks late deliveries (reordered or replayed): the
+        update is then handled under :class:`_StaleContext` so deletes
+        purge by inspection rather than trusting witnesses evaluated
+        against the newer source state.  Screening stays sound for
+        stale deletes because it uses only the label gate and current
+        membership, never final-state reachability (same argument as
+        the dispatcher's batched-delete screen).
+        """
         self.notifications_processed += 1
         if self.screen and self._screened_out(notification):
             self.notifications_screened += 1
             return False
-        self._current = notification
-        self.base.begin_update(notification)
         index = self.parent_index
         assert isinstance(index, RemoteParentIndex)
-        index.begin_update(notification)
+        if stale:
+            # The payloads describe the source as it was when the
+            # notification was built; evaluation must run against the
+            # *current* source state (the final-state argument), so
+            # clear the memos instead of seeding them and resolve
+            # everything through the cache or live queries.  (Screening
+            # above may still use the payload *labels* — labels never
+            # change.)
+            self._current = None
+            self.base.reset()
+            index.reset()
+        else:
+            self._current = notification
+            self.base.begin_update(notification)
+            index.begin_update(notification)
         try:
-            self.handle(notification.update)
+            self.handle(
+                notification.update,
+                _STALE_CONTEXT if stale else None,  # type: ignore[arg-type]
+            )
         finally:
             self._current = None
         return True
@@ -329,6 +404,38 @@ class WarehouseViewStats:
     per_update_queries: list[int] = field(default_factory=list)
     bulk_batches: int = 0
     bulk_batches_screened: int = 0
+    failures: int = 0
+    resyncs: int = 0
+
+
+@dataclass
+class IngressStats:
+    """Channel-facing delivery accounting for one source."""
+
+    received: int = 0  # notifications handed to _receive (incl. dups)
+    applied: int = 0  # notifications admitted in order and dispatched
+    duplicates: int = 0  # dropped by sequence-number dedup
+    held: int = 0  # early arrivals parked in the reorder buffer
+    max_lag: int = 0  # widest observed gap (staleness window, in msgs)
+    replayed: int = 0  # gap fillers retransmitted from monitor history
+
+
+class _SourceIngress:
+    """Sequence-tracking state for one source's notification stream.
+
+    The channel may drop, duplicate, and reorder; the ingress restores
+    exactly-once in-order processing: ``next_expected`` is the cursor,
+    ``pending`` the reorder buffer (early arrivals keyed by sequence),
+    and ``out_of_band`` the sequences consumed outside the channel
+    (bulk-update descriptors) that gap detection must not mistake for
+    losses.
+    """
+
+    def __init__(self) -> None:
+        self.next_expected = 1
+        self.pending: dict[int, UpdateNotification] = {}
+        self.out_of_band: set[int] = set()
+        self.stats = IngressStats()
 
 
 class Warehouse:
@@ -341,6 +448,7 @@ class Warehouse:
         self.links: dict[str, SourceLink] = {}
         self.monitors: dict[str, Monitor] = {}
         self.views: dict[str, "WarehouseView"] = {}
+        self.ingress: dict[str, _SourceIngress] = {}
 
     # -- wiring -------------------------------------------------------------------
 
@@ -349,12 +457,32 @@ class Warehouse:
         source: Source,
         *,
         level: ReportingLevel = ReportingLevel.OIDS_ONLY,
+        channel=None,
+        retry: RetryPolicy | None = None,
     ) -> SourceLink:
-        """Attach a source: create its link and monitor."""
-        link = SourceLink(source, log=self.log, counters=self.counters)
+        """Attach a source: create its link, monitor, and ingress state.
+
+        *channel* is an optional fault-injecting transport between the
+        monitor and the warehouse — anything with ``bind(monitor,
+        sink)`` and (optionally) ``attach_link(link)``, e.g.
+        :class:`repro.chaos.channel.FaultyChannel`.  Without one,
+        notifications are delivered directly (still through the
+        sequence-checked ingress).  *retry* arms the link's
+        backoff state machine for source queries.
+        """
+        link = SourceLink(
+            source, log=self.log, counters=self.counters, retry=retry
+        )
         self.links[source.source_id] = link
         monitor = Monitor(source, level)
-        monitor.register(self._dispatch)
+        self.ingress[source.source_id] = _SourceIngress()
+        if channel is None:
+            monitor.register(self._receive)
+        else:
+            channel.bind(monitor, self._receive)
+            attach = getattr(channel, "attach_link", None)
+            if attach is not None:
+                attach(link)
         self.monitors[source.source_id] = monitor
         return link
 
@@ -433,6 +561,9 @@ class Warehouse:
             ]
         finally:
             monitor.resume()
+        self._mark_delivered(
+            source_id, (n.sequence for n in notifications)
+        )
         for wview in self.views.values():
             if wview.source_id != source_id:
                 continue
@@ -459,46 +590,247 @@ class Warehouse:
         deferred assembly is safe (same argument as :meth:`apply_bulk`,
         extended to edges by the net-effect cancellation).  Returns the
         surviving updates.
+
+        At-least-once tolerance: updates whose effect the source store
+        already reflects (a re-delivered batch, or a prefix of one) are
+        screened out by
+        :func:`~repro.views.dispatcher.screen_replayed` before
+        application, so retrying a batch is a no-op rather than an
+        ``InvalidUpdateError``.  The surviving notifications are
+        shipped through the monitor's sinks — i.e. through the fault
+        channel when one is bound.
         """
         updates = list(updates)
         monitor = self.monitors[source_id]
         monitor.pause()
         try:
-            monitor.source.store.apply_all(updates)
-            survivors = coalesce_updates(updates, counters=self.counters)
+            fresh = screen_replayed(
+                monitor.source.store, updates, counters=self.counters
+            )
+            monitor.source.store.apply_all(fresh)
+            survivors = coalesce_updates(fresh, counters=self.counters)
             notifications = [
                 monitor.build_notification(update) for update in survivors
             ]
         finally:
             monitor.resume()
         for notification in notifications:
-            self._dispatch(notification)
+            monitor.ship(notification)
         return survivors
+
+    # -- ingress: dedup + reorder buffering (experiment E15) ---------------------------
+
+    def _receive(
+        self, notification: UpdateNotification, *, late: bool = False
+    ) -> None:
+        """Channel-facing entry point: restore exactly-once, in-order.
+
+        Duplicates (sequence already admitted, held, or consumed
+        out-of-band) are dropped; early arrivals are parked until the
+        gap fills; the in-order notification is dispatched, then the
+        buffer is flushed as far as it is contiguous.  Everything that
+        waited — and every *late* retransmission from
+        :meth:`Monitor.replay` — dispatches as a stale delivery.
+        """
+        ingress = self.ingress[notification.source_id]
+        stats = ingress.stats
+        stats.received += 1
+        sequence = notification.sequence
+        if (
+            sequence < ingress.next_expected
+            or sequence in ingress.pending
+            or sequence in ingress.out_of_band
+        ):
+            stats.duplicates += 1
+            self.counters.notifications_deduped += 1
+            return
+        if sequence > ingress.next_expected:
+            ingress.pending[sequence] = notification
+            stats.held += 1
+            stats.max_lag = max(
+                stats.max_lag, sequence - ingress.next_expected
+            )
+            return
+        self._admit(ingress, notification, stale=late)
+        while ingress.next_expected in ingress.pending:
+            held = ingress.pending.pop(ingress.next_expected)
+            self._admit(ingress, held, stale=True)
+
+    def _admit(
+        self,
+        ingress: _SourceIngress,
+        notification: UpdateNotification,
+        *,
+        stale: bool,
+    ) -> None:
+        ingress.stats.applied += 1
+        ingress.next_expected = notification.sequence + 1
+        while ingress.next_expected in ingress.out_of_band:
+            ingress.out_of_band.discard(ingress.next_expected)
+            ingress.next_expected += 1
+        self._dispatch(notification, stale=stale)
+
+    def _mark_delivered(self, source_id: str, sequences) -> None:
+        """Record sequences consumed outside the channel (bulk-update
+        descriptors) so gap detection does not misread them as losses.
+
+        Monitor sequences are strictly increasing, so a freshly built
+        run is either contiguous at the cursor (advance it) or ahead of
+        a genuine gap (park it in ``out_of_band``; :meth:`_admit` skips
+        over it once the gap fills)."""
+        ingress = self.ingress[source_id]
+        for sequence in sorted(sequences):
+            if sequence == ingress.next_expected:
+                ingress.next_expected += 1
+            elif sequence > ingress.next_expected:
+                ingress.out_of_band.add(sequence)
 
     # -- notification routing ----------------------------------------------------------
 
-    def _dispatch(self, notification: UpdateNotification) -> None:
+    def _dispatch(
+        self, notification: UpdateNotification, *, stale: bool = False
+    ) -> None:
         self.log.record_notification(notification)
         self.counters.messages_sent += 1
         self.counters.bytes_sent += notification.estimated_size()
         for wview in self.views.values():
             if wview.source_id != notification.source_id:
                 continue
-            self._deliver(wview, notification)
+            self._deliver(wview, notification, stale=stale)
 
     def _deliver(
-        self, wview: "WarehouseView", notification: UpdateNotification
+        self,
+        wview: "WarehouseView",
+        notification: UpdateNotification,
+        *,
+        stale: bool = False,
     ) -> None:
         before = self.log.queries
-        if wview.cache is not None:
-            wview.cache.apply_notification(notification)
-        processed = wview.maintainer.process(notification)
+        try:
+            if wview.cache is not None:
+                wview.cache.apply_notification(notification)
+            processed = wview.maintainer.process(notification, stale=stale)
+        except (QueryTimeoutError, SourceUnavailableError):
+            # The link's retry budget ran out mid-maintenance: the view
+            # (or its cache) may hold a partial delta.  Flag it; heal()
+            # rebuilds it once the source is reachable again.  The
+            # notification stream continues — source-side updates must
+            # never be blocked by warehouse-side maintenance failures.
+            wview.stats.failures += 1
+            wview.needs_resync = True
+            processed = True
         spent = self.log.queries - before
         wview.stats.notifications += 1
         if not processed:
             wview.stats.screened += 1
         wview.stats.source_queries += spent
         wview.stats.per_update_queries.append(spent)
+
+    # -- recovery (experiment E15) -------------------------------------------------
+
+    def heal(self, source_id: str | None = None) -> int:
+        """Close delivery gaps and rebuild damaged views.
+
+        For each source (or just *source_id*): every sequence between
+        the ingress cursor and the monitor's last built notification
+        that is neither held in the reorder buffer nor accounted
+        out-of-band was lost in the channel.  The monitor is asked to
+        :meth:`~Monitor.replay` the missing range from its bounded
+        history — O(lost messages), independent of database size.  When
+        part of the range has been evicted, the stream is abandoned:
+        the cursor fast-forwards and every view over the source falls
+        back to full recomputation.  Finally any view still flagged
+        ``needs_resync`` (maintenance failure, evicted history) is
+        resynced.  Idempotent; returns the number of views resynced.
+        """
+        source_ids = (
+            [source_id] if source_id is not None else list(self.monitors)
+        )
+        resynced = 0
+        for sid in source_ids:
+            ingress = self.ingress[sid]
+            monitor = self.monitors[sid]
+            missing = [
+                sequence
+                for sequence in range(
+                    ingress.next_expected, monitor.last_sequence + 1
+                )
+                if sequence not in ingress.pending
+                and sequence not in ingress.out_of_band
+            ]
+            if missing:
+                replayed = monitor.replay(missing)
+                if replayed is None:
+                    self._abandon_stream(ingress, monitor, sid)
+                else:
+                    for notification in replayed:
+                        self.counters.notifications_replayed += 1
+                        ingress.stats.replayed += 1
+                        self._receive(notification, late=True)
+            for name, wview in self.views.items():
+                if wview.source_id == sid and wview.needs_resync:
+                    if self.resync_view(name):
+                        resynced += 1
+        return resynced
+
+    def _abandon_stream(
+        self, ingress: _SourceIngress, monitor: Monitor, source_id: str
+    ) -> None:
+        """History eviction: the missing range is unrecoverable by
+        replay.  Fast-forward the cursor past everything built so far
+        and flag every view over the source for recomputation (held
+        notifications are subsumed by the rebuild)."""
+        ingress.next_expected = monitor.last_sequence + 1
+        ingress.pending = {
+            sequence: notification
+            for sequence, notification in ingress.pending.items()
+            if sequence >= ingress.next_expected
+        }
+        ingress.out_of_band = {
+            sequence
+            for sequence in ingress.out_of_band
+            if sequence >= ingress.next_expected
+        }
+        for wview in self.views.values():
+            if wview.source_id == source_id:
+                wview.needs_resync = True
+
+    def resync_view(self, name: str) -> bool:
+        """Rebuild one view by recomputation from the current source
+        state — the recovery of last resort, O(database size).
+
+        The remote memos and the auxiliary cache are discarded first
+        (both may describe pre-loss state), then membership is diffed
+        against a fresh evaluation; surviving members are refreshed so
+        delegate values catch up too.  Returns True on success; a
+        still-unreachable source leaves the view flagged and returns
+        False so a later :meth:`heal` retries.
+        """
+        wview = self.views[name]
+        wview.needs_resync = True
+        base = wview.maintainer.base
+        try:
+            if isinstance(base, RemoteBaseStore):
+                base.reset()
+            if isinstance(wview.maintainer.parent_index, RemoteParentIndex):
+                wview.maintainer.parent_index.reset()
+            if wview.cache is not None:
+                wview.cache.reseed()
+            members = compute_view_members(
+                wview.view.definition, base  # type: ignore[arg-type]
+            )
+            for gone in sorted(wview.view.members() - members):
+                wview.view.v_delete(gone)
+            for member in sorted(members):
+                wview.view.v_insert(member)  # refreshes existing delegates
+        except (QueryTimeoutError, SourceUnavailableError):
+            wview.stats.failures += 1
+            return False
+        wview.stats.resyncs += 1
+        self.counters.view_resyncs += 1
+        self.counters.view_recomputations += 1
+        wview.needs_resync = False
+        return True
 
 
 @dataclass
@@ -510,6 +842,9 @@ class WarehouseView:
     maintainer: RemoteViewMaintainer
     cache: AuxiliaryCache | None
     stats: WarehouseViewStats
+    #: set when maintenance failed mid-notification or delivery history
+    #: was lost; cleared by a successful :meth:`Warehouse.resync_view`.
+    needs_resync: bool = False
 
     def members(self) -> set[str]:
         return self.view.members()

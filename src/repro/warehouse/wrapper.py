@@ -11,10 +11,25 @@ queries explodes for weak sources (experiment E5 reports it).
 A :class:`SourceLink` is the only conduit: every exchange is recorded in
 the shared :class:`~repro.warehouse.protocol.MessageLog` and charged to
 ``source_queries`` on the warehouse counters.
+
+Fault tolerance (experiment E15): a link may carry a
+:class:`RetryPolicy`.  When a query finds the source down
+(:class:`~repro.errors.SourceUnavailableError`) or its answer is lost
+in flight (:class:`~repro.errors.QueryTimeoutError`), the link retries
+with capped exponential backoff, advancing an injectable simulated
+clock between attempts so a crashed source can come back up while the
+link waits.  Queries are read-only, so the timeout-then-late-reply race
+is benign: the retry simply re-asks and receives an answer evaluated at
+the *current* source state.  Only successful exchanges are recorded in
+the message log; failed attempts are charged to the recovery counters.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import QueryTimeoutError, SourceUnavailableError
 from repro.instrumentation.counters import CostCounters
 from repro.warehouse.protocol import (
     MessageLog,
@@ -27,6 +42,33 @@ from repro.warehouse.protocol import (
 from repro.warehouse.source import Source, SourceCapability
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for failed source queries.
+
+    Attempt *k* (counting from 1) waits
+    ``min(base_delay * multiplier**(k-1), max_delay)`` before retrying;
+    after ``max_retries`` failed retries the error propagates and the
+    warehouse falls back to marking the view for resync.
+    """
+
+    max_retries: int = 6
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 4.0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (1-based), capped."""
+        return min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+
+    def total_budget(self) -> float:
+        """Total simulated time the policy is willing to wait."""
+        return sum(self.delay(k) for k in range(1, self.max_retries + 1))
+
+
 class SourceLink:
     """The warehouse's handle on one source."""
 
@@ -36,16 +78,50 @@ class SourceLink:
         *,
         log: MessageLog | None = None,
         counters: CostCounters | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.source = source
         self.log = log if log is not None else MessageLog()
         self.counters = counters if counters is not None else CostCounters()
+        self.retry = retry
+        #: chaos hook: called after every served query, may raise
+        #: :class:`QueryTimeoutError` to simulate a lost answer.
+        self.fault_injector: Callable[[SourceQuery], None] | None = None
+        #: simulated-clock hook: called with each backoff delay so
+        #: time-based recovery (crashed sources coming back) can run.
+        self.clock: Callable[[float], None] | None = None
+        self.retries_performed = 0
+        self.failures = 0
 
     # -- raw exchange ---------------------------------------------------------
 
     def ask(self, query: SourceQuery) -> QueryAnswer:
-        """Send one query, recording traffic and counting it."""
+        """Send one query, retrying on outage/timeout, and record it."""
+        attempt = 0
+        while True:
+            try:
+                return self._exchange(query)
+            except (QueryTimeoutError, SourceUnavailableError) as error:
+                if isinstance(error, QueryTimeoutError):
+                    self.counters.query_timeouts += 1
+                else:
+                    self.counters.source_failures += 1
+                attempt += 1
+                if self.retry is None or attempt > self.retry.max_retries:
+                    self.failures += 1
+                    raise
+                self.counters.query_retries += 1
+                self.retries_performed += 1
+                if self.clock is not None:
+                    self.clock(self.retry.delay(attempt))
+
+    def _exchange(self, query: SourceQuery) -> QueryAnswer:
+        """One query attempt: serve, run fault hooks, record traffic."""
         answer = self.source.serve(query)
+        if self.fault_injector is not None:
+            # May raise QueryTimeoutError *after* the source served the
+            # query: the answer is lost, the source-side work happened.
+            self.fault_injector(query)
         self.log.record_query(query, answer)
         self.counters.source_queries += 1
         self.counters.messages_sent += 2  # query + answer

@@ -1,0 +1,124 @@
+"""Tests for the faulty channel: each fault kind, clock, drain."""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultKind, FaultyChannel, RecordedSchedule
+from repro.chaos.faults import DELIVER
+from repro.errors import QueryTimeoutError
+from repro.warehouse import Monitor, ReportingLevel, Source
+from repro.warehouse.protocol import QueryKind, SourceQuery
+
+
+@pytest.fixture
+def source(person_tree_store) -> Source:
+    return Source("S1", person_tree_store, "ROOT")
+
+
+def wire(source, messages=(), queries=()):
+    """A monitor shipping through a scripted channel into a capture list."""
+    channel = FaultyChannel(
+        RecordedSchedule.scripted(messages=messages, queries=queries)
+    )
+    received = []
+    channel.bind(
+        Monitor(source, ReportingLevel.OIDS_ONLY),
+        lambda n, late=False: received.append((n.sequence, late)),
+    )
+    return channel, received
+
+
+class TestMessageFaults:
+    def test_drop_loses_the_message(self, source, person_tree_store):
+        channel, received = wire(source, messages=[FaultEvent(FaultKind.DROP)])
+        person_tree_store.modify_value("A1", 46)
+        assert received == []
+        assert channel.stats.sent == 1 and channel.stats.dropped == 1
+
+    def test_duplicate_delivers_twice(self, source, person_tree_store):
+        channel, received = wire(
+            source, messages=[FaultEvent(FaultKind.DUPLICATE)]
+        )
+        person_tree_store.modify_value("A1", 46)
+        assert received == [(1, False), (1, False)]
+        assert channel.stats.duplicated == 1
+        assert channel.stats.delivered == 2
+
+    def test_delay_reorders_and_marks_late(self, source, person_tree_store):
+        channel, received = wire(
+            source,
+            messages=[FaultEvent(FaultKind.DELAY, hold=1), DELIVER],
+        )
+        person_tree_store.modify_value("A1", 46)  # held
+        assert received == []
+        person_tree_store.modify_value("A1", 47)  # ages the hold first
+        assert received == [(1, True), (2, False)]
+        assert channel.stats.delayed == 1 and channel.stats.released == 1
+
+    def test_crash_downs_the_source_but_ships_the_notification(
+        self, source, person_tree_store
+    ):
+        channel, received = wire(
+            source, messages=[FaultEvent(FaultKind.CRASH, downtime=3.0)]
+        )
+        person_tree_store.modify_value("A1", 46)
+        assert received == [(1, False)]  # the update committed pre-crash
+        assert source.crashed
+        channel.advance(2.9)
+        assert source.crashed
+        channel.advance(0.1)
+        assert not source.crashed
+        assert channel.stats.crashes == 1 and channel.stats.recoveries == 1
+
+    def test_disarmed_channel_is_a_clean_pipe(
+        self, source, person_tree_store
+    ):
+        channel, received = wire(source, messages=[FaultEvent(FaultKind.DROP)])
+        channel.armed = False
+        person_tree_store.modify_value("A1", 46)
+        assert received == [(1, False)]
+        # The scripted drop was not consumed: arming replays it next.
+        channel.armed = True
+        person_tree_store.modify_value("A1", 47)
+        assert received == [(1, False)]
+        assert channel.stats.dropped == 1
+
+
+class TestQueryFaults:
+    def test_scripted_timeout_raises_after_service(self, source):
+        channel, _ = wire(source, queries=[True, False])
+        query = SourceQuery(QueryKind.FETCH_OBJECT, "P1")
+        with pytest.raises(QueryTimeoutError):
+            channel.on_query(query)
+        channel.on_query(query)  # second draw is clean
+        assert channel.stats.query_timeouts == 1
+
+    def test_disarmed_channel_never_times_out(self, source):
+        channel, _ = wire(source, queries=[True])
+        channel.armed = False
+        channel.on_query(SourceQuery(QueryKind.FETCH_OBJECT, "P1"))
+        assert channel.stats.query_timeouts == 0
+
+
+class TestQuiescing:
+    def test_drain_recovers_then_releases(self, source, person_tree_store):
+        channel, received = wire(
+            source,
+            messages=[
+                FaultEvent(FaultKind.DELAY, hold=50),
+                FaultEvent(FaultKind.CRASH, downtime=5.0),
+            ],
+        )
+        person_tree_store.modify_value("A1", 46)  # held far out
+        person_tree_store.modify_value("A1", 47)  # crashes the source
+        assert not channel.idle
+        released = channel.drain()
+        assert released == 1
+        assert channel.idle
+        assert not source.crashed
+        # Late release arrives after the in-order crash notification.
+        assert received == [(2, False), (1, True)]
+
+    def test_idle_when_nothing_in_flight(self, source):
+        channel, _ = wire(source)
+        assert channel.idle
+        assert channel.drain() == 0

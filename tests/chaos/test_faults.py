@@ -1,0 +1,111 @@
+"""Tests for fault schedules: validation, determinism, replay."""
+
+import pytest
+
+from repro.chaos import (
+    FaultEvent,
+    FaultKind,
+    FaultRates,
+    FaultSchedule,
+    RecordedSchedule,
+)
+from repro.chaos.faults import DELIVER
+
+
+class TestFaultRates:
+    def test_rates_outside_unit_interval_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRates(drop=-0.1)
+        with pytest.raises(ValueError):
+            FaultRates(timeout=1.5)
+
+    def test_message_mass_must_fit_one_draw(self):
+        with pytest.raises(ValueError):
+            FaultRates(drop=0.5, duplicate=0.4, reorder=0.2)
+        # timeout is an independent draw — it does not count.
+        FaultRates(drop=0.5, duplicate=0.5, timeout=1.0)
+
+    def test_message_total(self):
+        rates = FaultRates(drop=0.1, duplicate=0.2, reorder=0.3, crash=0.1)
+        assert rates.message_total() == pytest.approx(0.7)
+
+
+class TestFaultSchedule:
+    def test_degenerate_rates_pin_the_outcome(self):
+        for field, kind in (
+            ("drop", FaultKind.DROP),
+            ("duplicate", FaultKind.DUPLICATE),
+            ("reorder", FaultKind.DELAY),
+            ("crash", FaultKind.CRASH),
+        ):
+            schedule = FaultSchedule(FaultRates(**{field: 1.0}), seed=1)
+            events = [schedule.message_fault() for _ in range(20)]
+            assert {event.kind for event in events} == {kind}
+        schedule = FaultSchedule(FaultRates(), seed=1)
+        assert all(
+            schedule.message_fault() is DELIVER for _ in range(20)
+        )
+
+    def test_delay_holds_bounded_by_max_hold(self):
+        schedule = FaultSchedule(
+            FaultRates(reorder=1.0), seed=3, max_hold=2
+        )
+        holds = {schedule.message_fault().hold for _ in range(50)}
+        assert holds <= {1, 2} and holds
+
+    def test_crash_carries_downtime(self):
+        schedule = FaultSchedule(
+            FaultRates(crash=1.0), seed=0, downtime=7.5
+        )
+        assert schedule.message_fault().downtime == 7.5
+
+    def test_same_seed_same_draws(self):
+        rates = FaultRates(
+            drop=0.2, duplicate=0.2, reorder=0.2, crash=0.1, timeout=0.3
+        )
+        a = FaultSchedule(rates, seed=42)
+        b = FaultSchedule(rates, seed=42)
+        for _ in range(60):
+            assert a.message_fault() == b.message_fault()
+            assert a.query_fault() == b.query_fault()
+        assert a.record == b.record
+
+    def test_every_draw_is_recorded(self):
+        schedule = FaultSchedule(FaultRates(drop=0.5, timeout=0.5), seed=9)
+        schedule.message_fault()
+        schedule.query_fault()
+        schedule.message_fault()
+        tags = [tag for tag, _ in schedule.record]
+        assert tags == ["message", "query", "message"]
+
+
+class TestRecordedSchedule:
+    def test_replays_a_live_recording(self):
+        rates = FaultRates(
+            drop=0.25, duplicate=0.25, reorder=0.25, timeout=0.4
+        )
+        live = FaultSchedule(rates, seed=5)
+        message_draws = [live.message_fault() for _ in range(30)]
+        query_draws = [live.query_fault() for _ in range(10)]
+        replay = RecordedSchedule(live.record)
+        # Different interleaving than the original — queues are split.
+        assert [replay.query_fault() for _ in range(10)] == query_draws
+        assert [replay.message_fault() for _ in range(30)] == message_draws
+
+    def test_exhausted_queues_go_fault_free(self):
+        replay = RecordedSchedule([("message", FaultEvent(FaultKind.DROP))])
+        assert replay.message_fault().kind is FaultKind.DROP
+        assert replay.message_fault() is DELIVER
+        assert replay.query_fault() is False
+
+    def test_scripted(self):
+        schedule = RecordedSchedule.scripted(
+            messages=[FaultEvent(FaultKind.DUPLICATE)], queries=[True, False]
+        )
+        assert schedule.message_fault().kind is FaultKind.DUPLICATE
+        assert schedule.query_fault() is True
+        assert schedule.query_fault() is False
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            RecordedSchedule([("bogus", None)])

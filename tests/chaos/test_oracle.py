@@ -1,0 +1,94 @@
+"""Tests for the quiescence oracle: it must catch every divergence
+kind — missing member, phantom member, stale delegate value — and stay
+silent on consistent views."""
+
+import pytest
+
+from repro.chaos import assert_quiescent, audit_view, check_catalog
+from repro.errors import QuiescenceError
+from repro.views import ViewCatalog
+from repro.warehouse import ReportingLevel, Source, Warehouse
+from repro.workloads import random_labelled_tree
+
+
+@pytest.fixture
+def catalog(person_catalog) -> ViewCatalog:
+    person_catalog.define(
+        "define mview YP as: SELECT PERSON.professor X WHERE X.age <= 45"
+    )
+    return person_catalog
+
+
+class TestAuditView:
+    def test_consistent_view_passes(self, catalog):
+        audit = audit_view(
+            catalog.materialized_views["YP"],
+            catalog.store,
+            registry=catalog.registry,
+        )
+        assert audit.consistent
+        assert audit.expected == audit.actual
+        assert "consistent" in audit.describe()
+
+    def test_missing_member_detected(self, catalog):
+        view = catalog.materialized_views["YP"]
+        victim = sorted(view.members())[0]
+        view.v_delete(victim)  # sabotage: drop a member behind truth's back
+        audit = audit_view(view, catalog.store, registry=catalog.registry)
+        assert not audit.consistent
+        assert victim in audit.missing
+        assert "missing" in audit.describe()
+
+    def test_phantom_member_detected(self, catalog):
+        view = catalog.materialized_views["YP"]
+        view.v_insert("P3")  # P3 is outside the tree database
+        audit = audit_view(view, catalog.store, registry=catalog.registry)
+        assert not audit.consistent
+        assert "P3" in audit.extra
+
+    def test_stale_delegate_value_detected(self, catalog):
+        view = catalog.materialized_views["YP"]
+        member = sorted(view.members())[0]
+        # Sabotage the member's base object; the delegate keeps the old
+        # value because no maintenance ran.
+        obj = catalog.store.get(member)
+        child = obj.sorted_children()[0]
+        delegate = view.delegate(member)
+        assert child in delegate.children()
+        catalog.store.delete_edge(member, child)
+        catalog.maintainers["YP"] = None  # ensure nothing fixed it up
+        view.load_members({member})  # no-op refresh path keeps delegate
+        audit = audit_view(view, catalog.store, registry=catalog.registry)
+        # The base changed; either membership or the delegate value must
+        # now disagree with recomputed truth.
+        assert not audit.consistent
+
+
+class TestTargets:
+    def test_check_catalog_audits_every_view(self, catalog):
+        audits = check_catalog(catalog)
+        assert set(audits) == {"YP"}
+        assert audits["YP"].consistent
+
+    def test_assert_quiescent_on_catalog(self, catalog):
+        assert_quiescent(catalog)
+        catalog.materialized_views["YP"].v_insert("P3")
+        with pytest.raises(QuiescenceError) as err:
+            assert_quiescent(catalog)
+        assert "YP" in str(err.value)
+
+    def test_assert_quiescent_on_warehouse(self):
+        store, root = random_labelled_tree(
+            nodes=15, labels=("a", "b"), seed=4
+        )
+        wh = Warehouse()
+        wh.connect(Source("S1", store, root), level=ReportingLevel.OIDS_ONLY)
+        wview = wh.define_view(
+            "define mview V as: SELECT root0.a X", "S1"
+        )
+        audits = assert_quiescent(wh)
+        assert audits["V"].consistent
+        phantom = sorted(set(store.oids()) - wview.members() - {root})[0]
+        wview.view.v_insert(phantom)
+        with pytest.raises(QuiescenceError):
+            assert_quiescent(wh)

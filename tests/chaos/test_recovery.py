@@ -1,0 +1,242 @@
+"""Warehouse recovery machinery under scripted faults.
+
+Each test wires a real :class:`Warehouse` to a real source through a
+:class:`FaultyChannel` running a *scripted* schedule, so every scenario
+— duplicate, reorder, loss, crash, retry exhaustion — is exact and
+deterministic, and asserts both the recovery bookkeeping and the final
+view state against fresh recomputation.
+"""
+
+import pytest
+
+from repro.chaos import (
+    FaultEvent,
+    FaultKind,
+    FaultyChannel,
+    RecordedSchedule,
+    assert_quiescent,
+)
+from repro.chaos.faults import DELIVER
+from repro.errors import QueryTimeoutError, SourceUnavailableError
+from repro.views import ViewDefinition, compute_view_members
+from repro.warehouse import ReportingLevel, Source, Warehouse
+from repro.warehouse.wrapper import RetryPolicy
+from repro.workloads import random_labelled_tree
+
+DEF = "define mview V as: SELECT root0.a X WHERE X.b > 50"
+
+
+def build(messages=(), queries=(), *, level=2, retry=None, seed=0):
+    """Warehouse + source + scripted channel, view defined fault-free."""
+    store, root = random_labelled_tree(
+        nodes=20, labels=("a", "b", "c"), seed=seed
+    )
+    source = Source("S1", store, root)
+    channel = FaultyChannel(
+        RecordedSchedule.scripted(messages=messages, queries=queries)
+    )
+    channel.armed = False
+    warehouse = Warehouse()
+    warehouse.connect(
+        source,
+        level=ReportingLevel(level),
+        channel=channel,
+        retry=retry if retry is not None else RetryPolicy(),
+    )
+    wview = warehouse.define_view(DEF, "S1")
+    channel.armed = True
+    return warehouse, channel, store, root, wview
+
+
+def truth(store):
+    return compute_view_members(ViewDefinition.parse(DEF), store)
+
+
+def targets(store, root):
+    """A few safe update targets: (set parent, an a-child's b-atom)."""
+    atoms = [
+        oid
+        for oid in store.oids()
+        if (obj := store.peek(oid)) is not None
+        and obj.is_atomic
+        and obj.label == "b"
+    ]
+    return sorted(atoms)
+
+
+class TestDedupAndReorder:
+    def test_duplicate_admitted_once(self):
+        wh, channel, store, root, wview = build(
+            messages=[FaultEvent(FaultKind.DUPLICATE)]
+        )
+        atom = targets(store, root)[0]
+        store.modify_value(atom, 99)
+        ingress = wh.ingress["S1"].stats
+        assert ingress.received == 2
+        assert ingress.applied == 1
+        assert ingress.duplicates == 1
+        assert wh.counters.notifications_deduped >= 1
+        assert wview.members() == truth(store)
+
+    def test_reordered_stream_flushes_in_order(self):
+        wh, channel, store, root, wview = build(
+            messages=[FaultEvent(FaultKind.DELAY, hold=2), DELIVER, DELIVER]
+        )
+        a, b = targets(store, root)[:2]
+        store.modify_value(a, 99)  # seq 1, held
+        store.modify_value(b, 99)  # seq 2, parked (gap at 1)
+        store.modify_value(a, 10)  # seq 3 — ages the hold: 1 arrives late
+        ingress = wh.ingress["S1"].stats
+        assert ingress.held >= 1
+        assert ingress.max_lag >= 1
+        assert wh.ingress["S1"].next_expected == 4
+        assert not wh.ingress["S1"].pending
+        assert wview.members() == truth(store)
+        assert_quiescent(wh)
+
+
+class TestGapRecovery:
+    def test_heal_replays_lost_notifications(self):
+        wh, channel, store, root, wview = build(
+            messages=[FaultEvent(FaultKind.DROP), DELIVER]
+        )
+        a, b = targets(store, root)[:2]
+        store.modify_value(a, 99)  # seq 1 lost
+        store.modify_value(b, 99)  # seq 2 parked behind the gap
+        assert wh.ingress["S1"].pending  # gap visible pre-heal
+        resynced = wh.heal()
+        assert resynced == 0  # replay sufficed, no recomputation
+        assert wh.counters.notifications_replayed == 1
+        assert wh.ingress["S1"].stats.replayed == 1
+        assert not wh.ingress["S1"].pending
+        assert wview.members() == truth(store)
+        assert_quiescent(wh)
+
+    def test_heal_is_idempotent(self):
+        wh, channel, store, root, wview = build(
+            messages=[FaultEvent(FaultKind.DROP)]
+        )
+        store.modify_value(targets(store, root)[0], 99)
+        wh.heal()
+        before = wh.counters.notifications_replayed
+        assert wh.heal() == 0
+        assert wh.counters.notifications_replayed == before
+
+    def test_evicted_history_falls_back_to_resync(self):
+        wh, channel, store, root, wview = build(
+            messages=[FaultEvent(FaultKind.DROP)]
+        )
+        wh.monitors["S1"].history_limit = 2
+        atoms = targets(store, root)
+        store.modify_value(atoms[0], 99)  # seq 1 lost...
+        for value in (60, 70, 80, 90):  # ...then evicted from history
+            store.modify_value(atoms[0], value)
+        resynced = wh.heal()
+        assert resynced == 1
+        assert wh.counters.view_resyncs == 1
+        assert wview.stats.resyncs == 1
+        assert not wview.needs_resync
+        assert wh.ingress["S1"].next_expected == (
+            wh.monitors["S1"].last_sequence + 1
+        )
+        assert wview.members() == truth(store)
+        assert_quiescent(wh)
+
+
+class TestRetryBackoff:
+    def test_delay_is_capped_exponential(self):
+        policy = RetryPolicy(
+            max_retries=5, base_delay=1.0, multiplier=2.0, max_delay=5.0
+        )
+        assert [policy.delay(k) for k in range(1, 6)] == [
+            1.0,
+            2.0,
+            4.0,
+            5.0,
+            5.0,
+        ]
+        assert policy.total_budget() == 17.0
+
+    def test_timeout_then_late_reply_race_is_benign(self):
+        """The answer is lost *after* the source served: source-side
+        work happened twice, the warehouse saw one logical query."""
+        wh, channel, store, root, wview = build(queries=[True])
+        source = wh.monitors["S1"].source
+        served_before = source.queries_served
+        link = wh.links["S1"]
+        payload = link.fetch_object(root)
+        assert payload is not None and payload.oid == root
+        assert source.queries_served == served_before + 2
+        assert wh.counters.query_timeouts == 1
+        assert wh.counters.query_retries == 1
+        assert link.retries_performed == 1
+
+    def test_crashed_source_recovers_mid_retry(self):
+        """Backoff waits advance the simulated clock, which brings the
+        crashed source back before the retry budget runs out."""
+        wh, channel, store, root, wview = build(
+            messages=[FaultEvent(FaultKind.CRASH, downtime=3.0), DELIVER],
+            retry=RetryPolicy(max_retries=4, base_delay=2.0, max_delay=4.0),
+        )
+        atoms = targets(store, root)
+        # Crashes the source; maintaining this very notification needs
+        # source queries, so the link retries — each backoff wait
+        # advances the channel clock until the source comes back.
+        store.modify_value(atoms[0], 99)
+        assert not wh.monitors["S1"].source.crashed
+        store.modify_value(atoms[0], 10)  # post-recovery maintenance
+        assert channel.stats.recoveries == 1
+        assert wh.counters.source_failures >= 1
+        assert wh.counters.query_retries >= 1
+        assert wview.members() == truth(store)
+        assert_quiescent(wh)
+
+    def test_exhausted_retries_flag_resync_then_heal_recovers(self):
+        """When the source stays down past the whole backoff budget the
+        view is flagged, the stream keeps flowing, and a later heal()
+        rebuilds the view."""
+        wh, channel, store, root, wview = build(
+            messages=[
+                FaultEvent(FaultKind.CRASH, downtime=1000.0),
+                DELIVER,
+            ],
+            retry=RetryPolicy(max_retries=2, base_delay=1.0, max_delay=1.0),
+        )
+        atoms = targets(store, root)
+        store.modify_value(atoms[0], 99)  # long crash
+        store.modify_value(atoms[1], 99)  # maintenance fails, flagged
+        assert wview.needs_resync
+        assert wview.stats.failures >= 1
+        assert wh.counters.source_failures >= 1
+        # Source still down: resync fails too, the flag stays.
+        assert wh.heal() == 0
+        assert wview.needs_resync
+        channel.drain()  # recovers the source
+        assert wh.heal() == 1
+        assert not wview.needs_resync
+        assert wview.members() == truth(store)
+        assert_quiescent(wh)
+
+    def test_no_retry_policy_fails_fast(self):
+        store, root = random_labelled_tree(
+            nodes=10, labels=("a", "b"), seed=1
+        )
+        source = Source("S1", store, root)
+        wh = Warehouse()
+        wh.connect(source, level=ReportingLevel.OIDS_ONLY)  # retry=None
+        wh.define_view("define mview W as: SELECT root0.a X", "S1")
+        source.crash()
+        with pytest.raises(SourceUnavailableError):
+            wh.links["S1"].fetch_object(root)
+        assert wh.links["S1"].failures == 1
+
+
+class TestQueryFaultPropagation:
+    def test_link_without_retry_propagates_timeout(self):
+        wh, channel, store, root, wview = build(queries=[True])
+        link = wh.links["S1"]
+        link.retry = None
+        with pytest.raises(QueryTimeoutError):
+            link.fetch_object(root)
+        assert wh.counters.query_timeouts == 1
+        assert wh.counters.query_retries == 0

@@ -1,0 +1,123 @@
+"""Property-based tests for the chaos layer.
+
+The central claim of experiment E15: for *any* seeded fault schedule
+(drops, duplicates, reorderings, crashes, query timeouts), at any
+reporting level, the warehouse settles — drain + heal — into a state
+where every view is byte-equal to fresh recomputation.  Failures shrink
+over the seed, step count, and fault rates.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.property.support import common_settings
+
+from repro.chaos import ChaosHarness, FaultRates
+from repro.warehouse import CachePolicy
+
+COMMON = common_settings(20)
+
+#: The CI chaos job's pinned seeds (kept cheap: one run each).
+CI_SEEDS = (7, 1031, 90210)
+
+rates_strategy = st.builds(
+    FaultRates,
+    drop=st.floats(0.0, 0.3),
+    duplicate=st.floats(0.0, 0.3),
+    reorder=st.floats(0.0, 0.3),
+    crash=st.floats(0.0, 0.1),
+    timeout=st.floats(0.0, 0.5),
+)
+
+
+class TestQuiescence:
+    @given(
+        seed=st.integers(0, 10_000),
+        steps=st.integers(1, 30),
+        level=st.sampled_from([1, 2, 3]),
+        rates=rates_strategy,
+    )
+    @settings(**COMMON)
+    def test_always_settles_quiescent(self, seed, steps, level, rates):
+        harness = ChaosHarness(
+            seed=seed, nodes=20, level=level, rates=rates
+        )
+        report = harness.run(steps)
+        assert report.settled
+        assert report.quiescent, report.describe()
+
+    @given(
+        seed=st.integers(0, 5_000),
+        rates=rates_strategy,
+        policy=st.sampled_from(list(CachePolicy)),
+    )
+    @settings(**COMMON)
+    def test_cached_views_also_quiesce(self, seed, rates, policy):
+        harness = ChaosHarness(
+            seed=seed, nodes=20, rates=rates, cache_policy=policy
+        )
+        report = harness.run(20)
+        assert report.quiescent, report.describe()
+
+    @given(
+        seed=st.integers(0, 5_000),
+        batches=st.integers(1, 5),
+        batch_size=st.integers(1, 6),
+        rates=rates_strategy,
+    )
+    @settings(**COMMON)
+    def test_batched_traffic_quiesces(self, seed, batches, batch_size, rates):
+        harness = ChaosHarness(seed=seed, nodes=20, rates=rates)
+        report = harness.run_batches(batches, batch_size)
+        assert report.quiescent, report.describe()
+
+
+class TestDeterminism:
+    @given(
+        seed=st.integers(0, 10_000),
+        steps=st.integers(1, 25),
+        level=st.sampled_from([1, 2, 3]),
+        rates=rates_strategy,
+    )
+    @settings(**COMMON)
+    def test_same_seed_same_run(self, seed, steps, level, rates):
+        first = ChaosHarness(
+            seed=seed, nodes=20, level=level, rates=rates
+        )
+        second = ChaosHarness(
+            seed=seed, nodes=20, level=level, rates=rates
+        )
+        a, b = first.run(steps), second.run(steps)
+        assert first.schedule.record == second.schedule.record
+        assert a.describe() == b.describe()
+        assert a.channel == b.channel
+        assert a.ingress == b.ingress
+        assert a.recovery.as_dict() == b.recovery.as_dict()
+
+
+class TestPinnedSeeds:
+    """The CI chaos job's fixed-seed runs — cheap, deterministic, and
+    heavy enough to exercise every recovery path."""
+
+    def test_ci_seeds_quiesce_at_every_level(self):
+        rates = FaultRates(
+            drop=0.2, duplicate=0.15, reorder=0.15, crash=0.05, timeout=0.2
+        )
+        for seed in CI_SEEDS:
+            for level in (1, 2, 3):
+                report = ChaosHarness(
+                    seed=seed, nodes=25, level=level, rates=rates
+                ).run(60)
+                assert report.quiescent, report.describe()
+
+    def test_ci_seeds_exercise_recovery(self):
+        """The pinned runs are not vacuous: faults actually fired and
+        recovery actions actually ran."""
+        rates = FaultRates(
+            drop=0.2, duplicate=0.15, reorder=0.15, crash=0.05, timeout=0.2
+        )
+        for seed in CI_SEEDS:
+            report = ChaosHarness(seed=seed, nodes=25, rates=rates).run(60)
+            assert report.channel.dropped > 0
+            assert report.channel.duplicated > 0
+            assert report.recovery_actions() > 0

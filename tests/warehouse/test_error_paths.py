@@ -1,0 +1,222 @@
+"""Error-path coverage for the monitor, bulk execution, and the
+retry/backoff machinery — the corners the happy-path suites skip."""
+
+import pytest
+
+from repro.chaos import FaultyChannel, RecordedSchedule
+from repro.errors import SourceUnavailableError
+from repro.gsdb import ObjectStore
+from repro.paths import PathExpression
+from repro.query.ast import Comparison
+from repro.warehouse import (
+    BulkUpdate,
+    Monitor,
+    ReportingLevel,
+    Source,
+    Warehouse,
+    execute_bulk,
+)
+from repro.warehouse.wrapper import RetryPolicy, SourceLink
+
+p = PathExpression.parse
+
+
+@pytest.fixture
+def source(person_tree_store) -> Source:
+    return Source("S1", person_tree_store, "ROOT")
+
+
+class TestMonitorErrorPaths:
+    def test_resume_unpaused_raises(self, source):
+        monitor = Monitor(source)
+        with pytest.raises(RuntimeError):
+            monitor.resume()
+
+    def test_pause_nesting(self, source, person_tree_store):
+        monitor = Monitor(source)
+        received = []
+        monitor.register(received.append)
+        monitor.pause()
+        monitor.pause()
+        monitor.resume()
+        assert monitor.paused
+        person_tree_store.modify_value("A1", 46)
+        assert received == []
+        monitor.resume()
+        assert not monitor.paused
+        person_tree_store.modify_value("A1", 47)
+        assert len(received) == 1
+
+    def test_history_is_bounded(self, source, person_tree_store):
+        monitor = Monitor(source, history_limit=3)
+        for value in range(50, 60):
+            person_tree_store.modify_value("A1", value)
+        assert monitor.last_sequence == 10
+        # Only the newest three sequences remain replayable.
+        assert monitor.replay([8, 9, 10]) is not None
+        assert monitor.replay([7]) is None
+
+    def test_replay_partial_eviction_returns_none(
+        self, source, person_tree_store
+    ):
+        monitor = Monitor(source, history_limit=2)
+        for value in range(50, 55):
+            person_tree_store.modify_value("A1", value)
+        # 4 is replayable, 1 is not: all-or-nothing.
+        assert monitor.replay([1, 4]) is None
+
+    def test_replay_sorts_and_dedups_requests(
+        self, source, person_tree_store
+    ):
+        monitor = Monitor(source)
+        for value in range(50, 54):
+            person_tree_store.modify_value("A1", value)
+        replayed = monitor.replay([3, 1, 3, 2])
+        assert [n.sequence for n in replayed] == [1, 2, 3]
+
+    def test_replay_of_never_built_sequence_returns_none(self, source):
+        monitor = Monitor(source)
+        assert monitor.replay([1]) is None
+
+    def test_replay_empty_request_is_empty(self, source):
+        assert Monitor(source).replay([]) == []
+
+
+class TestBulkErrorPaths:
+    def test_missing_and_non_set_owners_skipped(self):
+        store = ObjectStore()
+        store.add_atomic("n0", "person", 1)  # atomic owner: skipped
+        store.add_set("ROOT", "company", ["n0"])
+        bulk = BulkUpdate(
+            owner_path=p("person"),
+            guard=None,
+            target_label="salary",
+            transform=lambda v: v + 1,
+        )
+        assert execute_bulk(store, "ROOT", bulk) == []
+
+    def test_wrong_label_children_untouched(self):
+        store = ObjectStore()
+        store.add_atomic("n0", "name", "Mark")
+        store.add_set("e0", "person", ["n0"])
+        store.add_set("ROOT", "company", ["e0"])
+        bulk = BulkUpdate(
+            owner_path=p("person"),
+            guard=None,
+            target_label="salary",
+            transform=lambda v: v + 1,
+        )
+        assert execute_bulk(store, "ROOT", bulk) == []
+        assert store.get("n0").atomic_value() == "Mark"
+
+    def test_guard_failure_skips_owner(self):
+        store = ObjectStore()
+        store.add_atomic("n0", "name", "John")
+        store.add_atomic("s0", "salary", 10)
+        store.add_set("e0", "person", ["n0", "s0"])
+        store.add_set("ROOT", "company", ["e0"])
+        bulk = BulkUpdate(
+            owner_path=p("person"),
+            guard=Comparison(p("name"), "=", "Mark"),
+            target_label="salary",
+            transform=lambda v: v + 1,
+        )
+        assert execute_bulk(store, "ROOT", bulk) == []
+        assert store.get("s0").atomic_value() == 10
+
+    def test_apply_bulk_on_warehouse_marks_sequences_delivered(self):
+        """Bulk descriptors consume monitor sequences outside the
+        channel; heal() must not misread them as losses."""
+        store = ObjectStore()
+        store.add_atomic("n0", "name", "Mark")
+        store.add_atomic("s0", "salary", 10)
+        store.add_set("e0", "person", ["n0", "s0"])
+        store.add_set("ROOT", "company", ["e0"])
+        source = Source("S1", store, "ROOT")
+        wh = Warehouse()
+        wh.connect(source, level=ReportingLevel.WITH_CONTENTS)
+        wh.define_view(
+            "define mview V as: SELECT ROOT.person X", "S1"
+        )
+        bulk = BulkUpdate(
+            owner_path=p("person"),
+            guard=None,
+            target_label="salary",
+            transform=lambda v: v + 1,
+        )
+        applied = wh.apply_bulk("S1", bulk)
+        assert len(applied) == 1
+        assert wh.ingress["S1"].next_expected == (
+            wh.monitors["S1"].last_sequence + 1
+        )
+        replayed_before = wh.counters.notifications_replayed
+        assert wh.heal() == 0  # no phantom gap
+        assert wh.counters.notifications_replayed == replayed_before
+
+
+class TestRetryStateMachine:
+    def test_zero_retries_budget(self, source):
+        policy = RetryPolicy(max_retries=0, base_delay=1.0)
+        assert policy.total_budget() == 0.0
+        link = SourceLink(source, retry=policy)
+        source.crash()
+        with pytest.raises(SourceUnavailableError):
+            link.fetch_object("ROOT")
+        assert link.retries_performed == 0
+        assert link.failures == 1
+
+    def test_each_failed_attempt_charged_once(self, source):
+        link = SourceLink(
+            source, retry=RetryPolicy(max_retries=2, base_delay=0.1)
+        )
+        source.crash()
+        with pytest.raises(SourceUnavailableError):
+            link.fetch_object("ROOT")
+        # 1 initial + 2 retries = 3 failed attempts, 2 waits.
+        assert link.counters.source_failures == 3
+        assert link.counters.query_retries == 2
+        assert source.queries_rejected == 3
+
+    def test_backoff_advances_injected_clock(self, source):
+        waits = []
+        link = SourceLink(
+            source,
+            retry=RetryPolicy(
+                max_retries=3, base_delay=1.0, multiplier=2.0, max_delay=3.0
+            ),
+        )
+        link.clock = waits.append
+        source.crash()
+        with pytest.raises(SourceUnavailableError):
+            link.fetch_object("ROOT")
+        assert waits == [1.0, 2.0, 3.0]
+
+    def test_recovery_between_attempts_succeeds(self, source):
+        """The canonical crash-then-recover race: the source comes back
+        while the link is waiting out its second backoff."""
+        link = SourceLink(
+            source, retry=RetryPolicy(max_retries=5, base_delay=1.0)
+        )
+        elapsed = []
+
+        def clock(seconds: float) -> None:
+            elapsed.append(seconds)
+            if sum(elapsed) >= 3.0:
+                source.recover()
+
+        link.clock = clock
+        source.crash()
+        payload = link.fetch_object("ROOT")
+        assert payload is not None and payload.oid == "ROOT"
+        assert link.failures == 0
+        assert link.retries_performed >= 2
+
+    def test_channel_query_faults_do_not_leak_when_disarmed(self, source):
+        """A disarmed channel attached to a link is inert on the query
+        path even with timeouts scripted."""
+        channel = FaultyChannel(RecordedSchedule.scripted(queries=[True]))
+        channel.armed = False
+        link = SourceLink(source, retry=RetryPolicy())
+        channel.attach_link(link)
+        assert link.fetch_object("ROOT") is not None
+        assert channel.stats.query_timeouts == 0

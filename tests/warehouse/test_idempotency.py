@@ -1,0 +1,132 @@
+"""Regression pins for at-least-once batch delivery.
+
+Re-delivering an already-applied batch — to
+:meth:`ViewCatalog.apply_batch` or :meth:`Warehouse.process_batch` —
+must be a no-op: same store, same views, no ``InvalidUpdateError``,
+the replays counted as deduped.  The unit tests pin the exact
+semantics of :func:`screen_replayed` the two entry points rely on.
+"""
+
+import pytest
+
+from repro.errors import InvalidUpdateError
+from repro.gsdb import Delete, Insert, Modify
+from repro.gsdb.store import ObjectStore
+from repro.instrumentation.counters import CostCounters
+from repro.views import ViewCatalog
+from repro.views.dispatcher import screen_replayed
+from repro.warehouse import ReportingLevel, Source, Warehouse
+from repro.workloads import random_labelled_tree
+
+
+@pytest.fixture
+def store() -> ObjectStore:
+    store = ObjectStore()
+    store.add_set("R", "root", ())
+    store.add_atomic("A", "a", 1)
+    store.add_atomic("B", "a", 2)
+    store.insert_edge("R", "A")
+    return store
+
+
+class TestScreenReplayed:
+    def test_replayed_updates_dropped(self, store):
+        counters = CostCounters()
+        survivors = screen_replayed(
+            store,
+            [Insert("R", "A"), Delete("R", "B"), Modify("A", 0, 1)],
+            counters=counters,
+        )
+        assert survivors == []
+        assert counters.notifications_deduped == 3
+
+    def test_fresh_updates_survive(self, store):
+        survivors = screen_replayed(
+            store,
+            [Insert("R", "B"), Delete("R", "A"), Modify("A", 1, 5)],
+        )
+        assert len(survivors) == 3
+
+    def test_intra_batch_sequencing_survives(self, store):
+        """delete-then-reinsert of a live edge: both still meaningful."""
+        batch = [Delete("R", "A"), Insert("R", "A")]
+        assert screen_replayed(store, batch) == batch
+
+    def test_insert_then_delete_of_absent_edge(self, store):
+        batch = [Insert("R", "B"), Delete("R", "B")]
+        assert screen_replayed(store, batch) == batch
+
+    def test_genuine_conflicts_pass_through(self, store):
+        """Screening must not mask real protocol errors: a Modify whose
+        old value matches neither stored nor new value is kept, and the
+        store still raises on it."""
+        conflict = Modify("A", 999, 5)
+        survivors = screen_replayed(store, [conflict])
+        assert survivors == [conflict]
+        with pytest.raises(InvalidUpdateError):
+            store.apply(conflict)
+
+    def test_insert_under_missing_parent_is_kept(self, store):
+        conflict = Insert("GHOST", "A")
+        assert screen_replayed(store, [conflict]) == [conflict]
+        with pytest.raises(InvalidUpdateError):
+            store.apply(conflict)
+
+
+class TestCatalogRedelivery:
+    def test_apply_batch_redelivery_is_noop(self, person_catalog):
+        person_catalog.define(
+            "define mview YP as: SELECT PERSON.professor X WHERE X.age <= 45"
+        )
+        view = person_catalog.materialized_views["YP"]
+        person_catalog.store.add_atomic("A9", "salary", 30)
+        batch = [Insert("P1", "A9"), Modify("A1", 45, 40)]
+        assert person_catalog.apply_batch(batch) == 2
+        members = set(view.members())
+        deduped_before = person_catalog.store.counters.notifications_deduped
+        # Exact re-delivery: screened to nothing, nothing raises.
+        assert person_catalog.apply_batch(batch) == 0
+        assert set(view.members()) == members
+        assert (
+            person_catalog.store.counters.notifications_deduped
+            == deduped_before + 2
+        )
+        assert person_catalog.check("YP").ok
+
+    def test_partial_prefix_redelivery(self, person_catalog):
+        person_catalog.store.add_atomic("A9", "salary", 30)
+        batch = [Insert("P2", "A9")]
+        person_catalog.apply_batch(batch)
+        # The prefix arrives again bundled with genuinely new work.
+        applied = person_catalog.apply_batch(batch + [Modify("A9", 30, 31)])
+        assert applied == 1
+        assert person_catalog.store.get("A9").atomic_value() == 31
+
+
+class TestWarehouseRedelivery:
+    def test_process_batch_redelivery_is_noop(self):
+        store, root = random_labelled_tree(
+            nodes=15, labels=("a", "b"), seed=2
+        )
+        wh = Warehouse()
+        wh.connect(
+            Source("S1", store, root), level=ReportingLevel.WITH_CONTENTS
+        )
+        wview = wh.define_view(
+            "define mview V as: SELECT root0.a X", "S1"
+        )
+        atom = sorted(
+            oid
+            for oid in store.oids()
+            if (obj := store.peek(oid)) is not None and obj.is_atomic
+        )[0]
+        batch = [Modify(atom, store.peek(atom).atomic_value(), 500)]
+        survivors = wh.process_batch("S1", batch)
+        assert len(survivors) == 1
+        members = wview.members()
+        sequence_before = wh.monitors["S1"].last_sequence
+        # Re-delivery: screened out, no notification built, no error.
+        assert wh.process_batch("S1", batch) == []
+        assert wh.monitors["S1"].last_sequence == sequence_before
+        assert wview.members() == members
+        assert wh.counters.notifications_deduped >= 1
