@@ -1,9 +1,10 @@
 """Shared helpers for the benchmark harness.
 
 Each ``bench_e*.py`` module regenerates one experiment from DESIGN.md's
-index: it prints a paper-style results table (and persists it under
-``benchmarks/results/``) and registers pytest-benchmark timings for the
-operation at the heart of the experiment.
+index: it prints a paper-style results table, persists it under
+``benchmarks/results/`` as text, and writes a machine-readable JSON
+twin next to it (same stem, ``.json``) so downstream tooling can diff
+metric rows without parsing tables.
 
 Run everything with::
 
@@ -12,12 +13,20 @@ Run everything with::
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.instrumentation import render_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _json_value(value: object) -> object:
+    """JSON-safe scalar: numbers and bools pass through, rest as str."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
 
 
 def emit(
@@ -27,11 +36,37 @@ def emit(
     *,
     note: str | None = None,
     filename: str,
+    config: Mapping[str, object] | None = None,
 ) -> str:
-    """Render a results table, print it, and persist it to disk."""
+    """Render a results table, print it, and persist it to disk.
+
+    Writes ``results/<filename>`` (the rendered table) and
+    ``results/<stem>.json`` with the schema::
+
+        {"experiment": "e3", "title": ..., "config": {...},
+         "headers": [...], "rows": [[...], ...], "note": ...}
+
+    *config* records experiment parameters (sweep bounds, seeds) that
+    the table itself does not carry.
+    """
     text = render_table(title, headers, rows, note=note)
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / filename).write_text(text + "\n")
+    stem = Path(filename).stem
+    payload = {
+        "experiment": stem.split("_", 1)[0],
+        "title": title,
+        "config": {
+            key: _json_value(value)
+            for key, value in sorted((config or {}).items())
+        },
+        "headers": list(headers),
+        "rows": [[_json_value(value) for value in row] for row in rows],
+        "note": note,
+    }
+    (RESULTS_DIR / f"{stem}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    )
     return text

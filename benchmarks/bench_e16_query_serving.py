@@ -1,0 +1,288 @@
+"""E16 — the read-path serving layer (cache + frontier evaluation).
+
+Three measurements over the new :mod:`repro.serving` package:
+
+1. *Mixed read/update workloads* at several read:write ratios and cache
+   sizes: cache hit rate, invalidations per update, and the staleness
+   oracle's verdict (served answers must stay byte-identical to fresh
+   uncached evaluation — zero mismatches).
+
+2. *Per-read evaluation cost* for three serving modes on one tree:
+   classic node-at-a-time evaluation, uncached frontier evaluation
+   (set-at-a-time + label-index edge skipping), and the full cached
+   read path.
+
+3. *Frontier vs classic traversal counts* on the E3 path-depth trees
+   (augmented with off-path noise children): the frontier evaluator
+   must charge strictly fewer ``edge_traversals`` because the
+   children-by-label adjacency skips edges whose label has no automaton
+   transition, and the accept-only frontier is never expanded at all.
+
+Invalidation precision shows up in (1): per-update invalidations track
+the number of *affected* cached queries, so growing the cache beyond
+the working set leaves invalidations/update flat.
+"""
+
+import pytest
+
+from _common import emit
+from repro.gsdb import LabelIndex, ParentIndex
+from repro.gsdb.database import DatabaseRegistry
+from repro.instrumentation import Meter
+from repro.paths.automaton import compile_expression
+from repro.paths.expression import PathExpression
+from repro.query.evaluator import QueryEvaluator
+from repro.serving import QueryServer
+from repro.workloads import TreeSpec, layered_tree
+from repro.workloads.serving import build_query_pool, run_serving_workload
+from repro.workloads.updates import UpdateMix
+
+SEED = 7
+STEPS = 1000
+#: (read_ratio, cache_size) sweep for the mixed workload table.
+MIX_SWEEP = (
+    (0.50, 64),
+    (0.90, 8),
+    (0.90, 32),
+    (0.90, 64),
+    (0.90, 128),
+    (0.95, 64),
+)
+#: Update mix for the workload: mostly value churn plus some structure.
+WORKLOAD_MIX = UpdateMix(insert=2.0, delete=0.5, modify=1.5)
+#: Zipf exponent for read popularity (serving traffic is skewed).
+READ_SKEW = 1.0
+#: E3's depth/fanout sweep (comparable object counts).
+DEPTH_SWEEP = ((2, 16), (3, 8), (4, 5), (6, 3), (8, 2))
+
+
+# -- 1. mixed read/update workloads ------------------------------------------
+
+
+def run_mix_sweep():
+    rows = []
+    for read_ratio, cache_size in MIX_SWEEP:
+        result = run_serving_workload(
+            seed=SEED,
+            steps=STEPS,
+            read_ratio=read_ratio,
+            cache_size=cache_size,
+            mix=WORKLOAD_MIX,
+            skew=READ_SKEW,
+            audit_every=100,
+        )
+        rows.append(
+            [
+                f"{read_ratio:.2f}",
+                cache_size,
+                result.reads,
+                result.updates,
+                round(result.hit_rate * 100, 1),
+                round(result.mean_invalidations_per_update, 2),
+                result.oracle_checks,
+                result.oracle_mismatches,
+            ]
+        )
+    return rows
+
+
+def test_e16_mixed_workloads():
+    rows = run_mix_sweep()
+    emit(
+        "E16: cached serving under mixed read/update workloads",
+        ["read ratio", "cache", "reads", "updates", "hit rate %",
+         "invalidations/update", "oracle checks", "stale reads"],
+        rows,
+        note="precise invalidation: zero stale reads at every ratio; "
+        "invalidations/update tracks affected entries, not cache size",
+        filename="e16_serving_mix.txt",
+        config={
+            "seed": SEED,
+            "steps": STEPS,
+            "tree": "TreeSpec(depth=4, fanout=3)",
+            "mix": "insert=2.0, delete=0.5, modify=1.5",
+            "read_skew": READ_SKEW,
+        },
+    )
+    by_config = {
+        (ratio, cache): row
+        for (ratio, cache), row in zip(MIX_SWEEP, rows)
+    }
+    # (a) read-heavy workloads hit the cache >= 80% with zero staleness.
+    assert by_config[(0.90, 64)][4] >= 80.0
+    assert by_config[(0.95, 64)][4] >= 80.0
+    assert all(row[7] == 0 for row in rows), "oracle found stale reads"
+    # (c) invalidations/update is a property of the affected entries:
+    # once the cache holds the whole working set, growing it changes
+    # nothing.
+    assert by_config[(0.90, 64)][5] == by_config[(0.90, 128)][5]
+
+
+# -- 2. per-read cost: cached vs uncached vs frontier-only -------------------
+
+
+def _serving_environment():
+    spec = TreeSpec(depth=4, fanout=4, seed=SEED)
+    store, root = layered_tree(spec)
+    registry = DatabaseRegistry(store)
+    parent_index = ParentIndex(store)
+    label_index = LabelIndex(store)
+    pool = build_query_pool(root, spec)
+    return store, registry, parent_index, label_index, pool
+
+
+def run_read_modes():
+    rows = []
+    modes = [
+        ("classic, uncached", False, False),
+        ("frontier, uncached", True, False),
+        ("frontier + cache", True, True),
+    ]
+    for mode_name, use_frontier, cached in modes:
+        store, registry, parent_index, label_index, pool = (
+            _serving_environment()
+        )
+        server = QueryServer(
+            registry,
+            parent_index=parent_index,
+            label_index=label_index,
+            cache_size=64,
+            use_frontier=use_frontier,
+            cacheable=(None if cached else (lambda query: False)),
+        )
+        rounds = 5
+        with Meter(store.counters) as meter:
+            for _ in range(rounds):
+                for text in pool:
+                    server.evaluate_oids(text)
+        delta = meter.delta
+        reads = rounds * len(pool)
+        rows.append(
+            [
+                mode_name,
+                reads,
+                delta.query_cache_hits,
+                round(delta.edge_traversals / reads, 1),
+                round(delta.object_reads / reads, 1),
+                round(delta.index_probes / reads, 1),
+                round(delta.total_base_accesses() / reads, 1),
+            ]
+        )
+    return rows
+
+
+def test_e16_read_modes():
+    rows = run_read_modes()
+    emit(
+        "E16: per-read cost by serving mode (no updates)",
+        ["mode", "reads", "cache hits", "edge trav/read",
+         "object reads/read", "index probes/read", "base accesses/read"],
+        rows,
+        note="the cache amortizes all traversal after the first pass; "
+        "frontier evaluation cuts the uncached cost",
+        filename="e16_read_modes.txt",
+        config={"seed": SEED, "tree": "TreeSpec(depth=4, fanout=4)"},
+    )
+    classic, frontier, cached = rows
+    assert frontier[6] <= classic[6], "frontier must not cost more"
+    assert cached[6] < frontier[6] / 2, "cache must amortize traversal"
+
+
+# -- 3. frontier vs classic traversal on E3 path-depth trees -----------------
+
+
+def _noisy_tree(depth: int, fanout: int):
+    """An E3 layered tree plus off-path ``noise`` atoms on every set
+    node — edges a label-directed evaluator never has to touch."""
+    store, root = layered_tree(TreeSpec(depth=depth, fanout=fanout, seed=29))
+    for oid in [o for o in store.oids() if store.peek(o).is_set]:
+        noise = f"{oid}_noise"
+        store.add_atomic(noise, "noise", 1)
+        store.insert_edge(oid, noise)
+    return store, root
+
+
+def run_depth_sweep():
+    rows = []
+    for depth, fanout in DEPTH_SWEEP:
+        store, root = _noisy_tree(depth, fanout)
+        label_index = LabelIndex(store)
+        half = max(1, depth // 2)
+        expression = PathExpression.parse(
+            ".".join(f"l{i + 1}" for i in range(half))
+        )
+        nfa = compile_expression(expression)
+        with Meter(store.counters) as classic_meter:
+            expected = nfa.evaluate(store, root)
+        with Meter(store.counters) as plain_meter:
+            plain = nfa.evaluate_frontier(store, root)
+        with Meter(store.counters) as indexed_meter:
+            indexed = nfa.evaluate_frontier(
+                store, root, label_index=label_index
+            )
+        assert expected == plain == indexed
+        rows.append(
+            [
+                depth,
+                fanout,
+                len(store),
+                classic_meter.delta.edge_traversals,
+                plain_meter.delta.edge_traversals,
+                indexed_meter.delta.edge_traversals,
+                indexed_meter.delta.index_probes,
+                round(
+                    100.0
+                    * (
+                        classic_meter.delta.edge_traversals
+                        - indexed_meter.delta.edge_traversals
+                    )
+                    / classic_meter.delta.edge_traversals,
+                    1,
+                ),
+            ]
+        )
+    return rows
+
+
+def test_e16_frontier_traversals():
+    rows = run_depth_sweep()
+    emit(
+        "E16: frontier vs classic traversal on E3 path-depth trees",
+        ["depth", "fanout", "objects", "classic edges", "frontier edges",
+         "indexed edges", "index probes", "edges saved %"],
+        rows,
+        note="label-directed expansion skips off-path edges and never "
+        "expands the accept-only frontier",
+        filename="e16_frontier_traversals.txt",
+        config={"seed": 29, "sweep": str(DEPTH_SWEEP)},
+    )
+    for row in rows:
+        # (b) strictly fewer edge traversals at every depth.
+        assert row[5] < row[3], f"no saving at depth {row[0]}"
+
+
+# -- pytest-benchmark timings -------------------------------------------------
+
+
+@pytest.mark.benchmark(group="e16")
+@pytest.mark.parametrize("cached", [False, True], ids=["uncached", "cached"])
+def test_e16_serve_query(benchmark, cached):
+    store, registry, parent_index, label_index, pool = _serving_environment()
+    server = QueryServer(
+        registry,
+        parent_index=parent_index,
+        label_index=label_index,
+        cache_size=64,
+        cacheable=(None if cached else (lambda query: False)),
+    )
+    query = pool[-1]
+    server.evaluate_oids(query)  # warm the cache for the cached mode
+    benchmark(lambda: server.evaluate_oids(query))
+
+
+@pytest.mark.benchmark(group="e16")
+def test_e16_frontier_evaluate(benchmark):
+    store, root = _noisy_tree(6, 3)
+    label_index = LabelIndex(store)
+    nfa = compile_expression(PathExpression.parse("l1.l2.l3"))
+    benchmark(lambda: nfa.evaluate_frontier(store, root, label_index=label_index))

@@ -149,6 +149,86 @@ def check_catalog(catalog) -> dict[str, ViewAudit]:
     }
 
 
+@dataclass(frozen=True)
+class ServingAudit:
+    """One served query's oracle verdict (experiment E16)."""
+
+    query: str
+    stale: tuple[str, ...]  # served but absent from fresh truth
+    missing: tuple[str, ...]  # in fresh truth, absent from the answer
+    expected: bytes  # canonical fresh, uncached evaluation
+    actual: bytes  # canonical served (possibly cached) answer
+
+    @property
+    def consistent(self) -> bool:
+        """Byte equality of served vs freshly evaluated answer."""
+        return self.expected == self.actual
+
+    def describe(self) -> str:
+        if self.consistent:
+            return f"{self.query}: consistent"
+        parts = []
+        if self.stale:
+            parts.append(f"stale={sorted(self.stale)}")
+        if self.missing:
+            parts.append(f"missing={sorted(self.missing)}")
+        return f"{self.query}: INCONSISTENT ({', '.join(parts)})"
+
+
+def _answer_fingerprint(store, oids: set[str]) -> bytes:
+    """Canonical bytes of an answer: sorted members with their values."""
+    peek = getattr(store, "peek", None) or store.get_optional
+    pairs: list[tuple[str, object]] = []
+    for oid in sorted(oids):
+        obj = peek(oid)
+        value = None if obj is None else _canonical(
+            set(obj.children()) if obj.is_set else obj.atomic_value()
+        )
+        pairs.append((oid, value))
+    return _fingerprint(pairs)
+
+
+def audit_serving(server, queries) -> list[ServingAudit]:
+    """Compare served answers against fresh uncached evaluation.
+
+    For each query, the server's (possibly cached) answer is rendered
+    to canonical bytes next to a fresh :class:`~repro.query.evaluator.
+    QueryEvaluator` run over the same registry — a stale cached read,
+    a missed invalidation, or a frontier/classic divergence all break
+    byte equality and report exactly which members differ.
+    """
+    from repro.query.evaluator import QueryEvaluator
+    from repro.query.parser import parse_query
+
+    reference = QueryEvaluator(server.registry)
+    audits: list[ServingAudit] = []
+    for text in queries:
+        query = parse_query(text) if isinstance(text, str) else text
+        actual_oids = server.evaluate_oids(query)
+        expected_oids = reference.evaluate_oids(query)
+        audits.append(
+            ServingAudit(
+                query=str(query),
+                stale=tuple(sorted(actual_oids - expected_oids)),
+                missing=tuple(sorted(expected_oids - actual_oids)),
+                expected=_answer_fingerprint(server.store, expected_oids),
+                actual=_answer_fingerprint(server.store, actual_oids),
+            )
+        )
+    return audits
+
+
+def assert_serving_consistent(server, queries) -> list[ServingAudit]:
+    """Run the serving oracle; raise on any stale read."""
+    audits = audit_serving(server, queries)
+    broken = [audit for audit in audits if not audit.consistent]
+    if broken:
+        raise QuiescenceError(
+            "; ".join(audit.describe() for audit in broken)
+        )
+    return audits
+
+
 def assert_quiescent(target) -> dict[str, ViewAudit]:
     """Run the oracle and raise :class:`~repro.errors.QuiescenceError`
     when any view diverges.  *target* is a Warehouse or a ViewCatalog;

@@ -31,6 +31,8 @@ Commands (``help`` prints this at the prompt):
 ``check [NAME]``         audit one view (or all) against recomputation
 ``counters``             show cost counters
 ``chaos [SEED [STEPS [RATE [LEVEL]]]]``  run a fault-injection round
+``serve SELECT ...``     run a query through the cached serving layer
+``bench-serve [STEPS [RATIO [CACHE [SEED]]]]``  mixed read/update round
 ``quit`` / EOF           leave
 
 The shell is deliberately a thin veneer over :class:`ViewCatalog`; it
@@ -94,6 +96,7 @@ class Shell:
             "check": self.cmd_check,
             "counters": self.cmd_counters,
             "chaos": self.cmd_chaos,
+            "bench-serve": self.cmd_bench_serve,
             "help": self.cmd_help,
         }
 
@@ -113,6 +116,8 @@ class Shell:
         try:
             if lowered in ("define", "select"):
                 self._statement(line)
+            elif lowered == "serve":
+                self._serve_statement(line.split(None, 1)[1] if " " in line else "")
             elif line.startswith("<"):
                 self._add_object_line(line)
             else:
@@ -289,6 +294,50 @@ class Shell:
             return
         for key, value in counters.items():
             self._print(f"{key}: {value:,}")
+
+    def _serve_statement(self, text: str) -> None:
+        """serve SELECT ... — query through the catalog's cached read
+        path; reports whether the answer came from the cache."""
+        if not text.lower().startswith("select"):
+            self._print("usage: serve SELECT ...")
+            return
+        self.catalog.enable_serving()
+        counters = self.catalog.store.counters
+        hits_before = counters.query_cache_hits
+        answer = self.catalog.serve(text)
+        inner = ", ".join(answer.sorted_children())
+        origin = (
+            "cache hit"
+            if counters.query_cache_hits > hits_before
+            else "evaluated"
+        )
+        self._print(f"{answer.oid} = {{{inner}}} ({origin})")
+
+    def cmd_bench_serve(self, args: list[str]) -> None:
+        """bench-serve [STEPS [RATIO [CACHE [SEED]]]] — a self-contained
+        mixed read/update serving round on a synthetic tree (not the
+        shell's catalog), with the staleness oracle on."""
+        from repro.workloads.serving import run_serving_workload
+
+        steps = int(args[0]) if len(args) > 0 else 400
+        ratio = float(args[1]) if len(args) > 1 else 0.9
+        cache = int(args[2]) if len(args) > 2 else 64
+        seed = int(args[3]) if len(args) > 3 else 0
+        result = run_serving_workload(
+            seed=seed, steps=steps, read_ratio=ratio, cache_size=cache
+        )
+        self._print(
+            f"{result.reads} reads / {result.updates} updates: "
+            f"hit rate {result.hit_rate:.1%}, "
+            f"{result.invalidations} invalidations "
+            f"({result.mean_invalidations_per_update:.2f}/update)"
+        )
+        self._print(
+            f"oracle: {result.oracle_checks} checks, "
+            f"{result.oracle_mismatches} stale reads"
+        )
+        for line in result.stale_reads[:5]:
+            self._print(f"  {line}")
 
     def cmd_chaos(self, args: list[str]) -> None:
         """chaos [SEED [STEPS [RATE [LEVEL]]]] — a self-contained

@@ -29,6 +29,9 @@ from repro.gsdb.object import Object
 from repro.gsdb.store import ObjectStore
 from repro.gsdb.updates import Delete, Insert, Update
 
+#: Shared empty adjacency returned for parents with no indexed edges.
+_NO_CHILDREN: dict[str, set[str]] = {}
+
 
 class ParentIndex:
     """Maps each OID to the set of parents that point at it.
@@ -309,6 +312,20 @@ class ParentIndex:
         oids.reverse()
         return oids
 
+    def chain_to_top(self, oid: str) -> tuple[tuple[str, ...], bool]:
+        """OIDs on the upward walk from *oid* to the top of its tree.
+
+        Returns ``(oids, stopped_at_multi)``: the chain starting at
+        *oid* (empty when *oid* is absent from the store) and whether
+        the walk stopped at a multi-parent node before reaching a root
+        — callers screening by ancestry must fail open in that case.
+        Served from the memoized chain cache (one warm probe); the
+        read-path invalidator (:mod:`repro.serving`) is the main
+        consumer.
+        """
+        chain, stopped_at_multi = self._upward_chain(oid)
+        return tuple(entry_oid for entry_oid, _label in chain), stopped_at_multi
+
     def chain_cache_size(self) -> int:
         """Number of memoized chains (introspection for tests/benches)."""
         return len(self._chain_cache)
@@ -335,27 +352,112 @@ class LabelIndex:
     sets.  Used by source wrappers to answer ``fetch X where
     label(X) = l`` efficiently and by the warehouse screening step of
     Section 5.1 (scenario 2).
+
+    The index also maintains a *children-by-label adjacency*: for each
+    set object, its out-edges grouped by the child's label.  Frontier
+    evaluation (:meth:`~repro.paths.automaton.PathNFA.
+    evaluate_frontier`) probes it to touch only the out-edges whose
+    label has an automaton transition, instead of scanning and
+    discarding the rest.  The adjacency is maintained incrementally
+    from the store's creation and update streams; labels are immutable,
+    so ``modify`` never dirties it.  An edge inserted before its child
+    object exists (``check_references`` off) is parked until the
+    creation arrives and the label becomes known.
     """
 
     def __init__(self, store: ObjectStore) -> None:
         self._store = store
         self._by_label: dict[str, set[str]] = {}
+        #: parent OID → {child label → child OIDs} (out-edge adjacency).
+        self._children: dict[str, dict[str, set[str]]] = {}
+        #: dangling child OID → parents awaiting its creation.
+        self._pending: dict[str, set[str]] = {}
         for oid in list(store.oids()):
             obj = store.get_optional(oid)
             if obj is not None:
                 self._by_label.setdefault(obj.label, set()).add(oid)
+        # Second pass so every child's label is already indexed.
+        for oid in list(store.oids()):
+            obj = store.peek(oid)
+            if obj is not None and obj.is_set:
+                for child in obj.children():
+                    self._link(oid, child)
         store.subscribe_creations(self._on_creation)
+        store.subscribe(self._on_update)
+
+    def _link(self, parent: str, child: str) -> None:
+        child_obj = self._store.peek(child)
+        if child_obj is None:
+            self._pending.setdefault(child, set()).add(parent)
+            return
+        self._children.setdefault(parent, {}).setdefault(
+            child_obj.label, set()
+        ).add(child)
+
+    def _unlink(self, parent: str, child: str) -> None:
+        pending = self._pending.get(child)
+        if pending is not None:
+            pending.discard(parent)
+            if not pending:
+                del self._pending[child]
+        child_obj = self._store.peek(child)
+        if child_obj is None:
+            return
+        by_label = self._children.get(parent)
+        if by_label is None:
+            return
+        children = by_label.get(child_obj.label)
+        if children is not None:
+            children.discard(child)
+            if not children:
+                del by_label[child_obj.label]
+                if not by_label:
+                    del self._children[parent]
 
     def _on_creation(self, obj: Object) -> None:
         self._by_label.setdefault(obj.label, set()).add(obj.oid)
+        if obj.is_set:
+            for child in obj.children():
+                self._link(obj.oid, child)
+        parents = self._pending.pop(obj.oid, None)
+        if parents:
+            for parent in parents:
+                self._children.setdefault(parent, {}).setdefault(
+                    obj.label, set()
+                ).add(obj.oid)
+
+    def _on_update(self, update: Update) -> None:
+        if isinstance(update, Insert):
+            self._link(update.parent, update.child)
+        elif isinstance(update, Delete):
+            self._unlink(update.parent, update.child)
+        # Modify changes neither labels nor edges.
 
     def forget(self, oid: str, label: str) -> None:
-        """Drop a removed object from the index (garbage collection)."""
+        """Drop a removed object from the index (garbage collection).
+
+        The adjacency drops *oid*'s out-edges; edges pointing *at* the
+        removed object are left behind and screened out by readers (a
+        missing object is invisible to traversal anyway).
+        """
         oids = self._by_label.get(label)
         if oids is not None:
             oids.discard(oid)
             if not oids:
                 del self._by_label[label]
+        self._children.pop(oid, None)
+        self._pending.pop(oid, None)
+
+    def children_by_label(self, parent: str) -> dict[str, set[str]]:
+        """Out-edges of *parent* grouped by child label (one probe).
+
+        Returns the internal grouping — callers must not mutate it.
+        Children whose object has since been removed may linger; readers
+        must confirm existence (the uncharged ``peek``), mirroring how
+        traversal treats dangling edges.
+        """
+        self._store.counters.index_probes += 1
+        return self._children.get(parent, _NO_CHILDREN)
 
     def with_label(self, label: str) -> set[str]:
         """Return all OIDs whose label equals *label*."""

@@ -21,6 +21,7 @@ Design notes
 
 from __future__ import annotations
 
+import sys
 from typing import AbstractSet, Iterable, Iterator
 
 from repro.errors import TypeMismatchError
@@ -82,7 +83,9 @@ class Object:
         if not isinstance(label, str):
             raise TypeMismatchError("label must be a string")
         self.oid = oid
-        self.label = label
+        # Labels are immutable and heavily compared (automaton steps,
+        # screening); interning makes equality an identity check.
+        self.label = sys.intern(label)
         self.type = type
         if type == SET_TYPE:
             if isinstance(value, (str, bytes)):

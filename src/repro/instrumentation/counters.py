@@ -38,6 +38,12 @@ Counter semantics
                       monitor's history during gap-detection resync
 ``view_resyncs``      warehouse views rebuilt by full recomputation
                       because replay was impossible
+``query_cache_hits``  queries answered from the serving layer's result
+                      cache with zero base accesses
+``query_cache_misses`` queries that had to be evaluated (then cached)
+``query_cache_evictions`` entries dropped by the cache's LRU bound
+``query_cache_invalidations`` entries precisely invalidated because an
+                      update could affect their answer (experiment E16)
 
 The cache/screening counters are bookkeeping, not base accesses, so
 they do not contribute to :meth:`CostCounters.total_base_accesses` —
@@ -83,6 +89,10 @@ class CostCounters:
     notifications_deduped: int = 0
     notifications_replayed: int = 0
     view_resyncs: int = 0
+    query_cache_hits: int = 0
+    query_cache_misses: int = 0
+    query_cache_evictions: int = 0
+    query_cache_invalidations: int = 0
     notes: dict[str, int] = field(default_factory=dict)
 
     # -- arithmetic --------------------------------------------------------

@@ -17,6 +17,27 @@ The compiled automaton also exposes *residual* operations used by the
 extended view maintainer (:mod:`repro.views.extended`): feed it a known
 prefix path (``path(ROOT, N1) + label(N2)``) and continue matching only
 in the affected subtree.
+
+Two evaluation strategies exist side by side:
+
+* :meth:`PathNFA.evaluate` — the classic node-at-a-time product search,
+  examining every out-edge of every visited object.  Kept as the
+  unindexed baseline (experiment E8 ablations).
+* :meth:`PathNFA.evaluate_frontier` — set-at-a-time: whole OID
+  frontiers are expanded level by level, and with a
+  :class:`~repro.gsdb.indexes.LabelIndex` the children-by-label
+  adjacency skips out-edges whose label has no automaton transition,
+  charging one ``index_probes`` per expanded parent instead of one
+  ``edge_traversals`` per skipped edge (the same accounting indexed
+  traversal uses elsewhere).  Used by the read-path serving layer
+  (:mod:`repro.serving`) and experiment E16.
+
+``step`` results are memoized per automaton in a
+``(state-set, label) → state-set`` transition table: the inner loop of
+both evaluators re-steps the same state set over the same label for
+every sibling carrying that label, and NFA move derivation is pure, so
+repeated steps are answered from the table (``step_cache_hits`` /
+``step_computations`` count the effect).
 """
 
 from __future__ import annotations
@@ -27,11 +48,15 @@ from typing import Iterable, Sequence
 from repro.gsdb.store import ObjectStore
 from repro.paths.expression import (
     AnyPathSegment,
+    LabelSegment,
     PathExpression,
     Segment,
 )
 
 StateSet = frozenset[int]
+
+#: Sentinel distinguishing "not memoized" from a memoized None alphabet.
+_ALPHABET_MISS = object()
 
 
 class PathNFA:
@@ -41,6 +66,15 @@ class PathNFA:
         self.expression = expression
         self._segments: tuple[Segment, ...] = expression.segments
         self._accept = len(self._segments)
+        #: (state-set, label) → state-set transition memo.  The state
+        #: space is tiny, so the table is bounded by the number of
+        #: distinct labels fed through each reachable state set.
+        self._step_cache: dict[tuple[StateSet, str], StateSet] = {}
+        #: label alphabets with a transition out of a state set (None =
+        #: every label moves), memoized per state set.
+        self._alphabet_cache: dict[StateSet, frozenset[str] | None] = {}
+        self.step_computations = 0
+        self.step_cache_hits = 0
 
     # -- core NFA operations -----------------------------------------------------
 
@@ -64,7 +98,13 @@ class PathNFA:
         return frozenset(result)
 
     def step(self, states: StateSet, label: str) -> StateSet:
-        """Consume one *label* from every state in *states*."""
+        """Consume one *label* from every state in *states* (memoized)."""
+        key = (states, label)
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            self.step_cache_hits += 1
+            return cached
+        self.step_computations += 1
         moved: set[int] = set()
         for state in states:
             if state >= self._accept:
@@ -74,7 +114,34 @@ class PathNFA:
                 moved.add(state)  # self-loop consumes the label
             elif segment.matches(label):
                 moved.add(state + 1)
-        return self._closure(moved)
+        result = self._closure(moved)
+        self._step_cache[key] = result
+        return result
+
+    def transition_labels(self, states: StateSet) -> frozenset[str] | None:
+        """Labels with a transition out of *states*; None means "any".
+
+        Wildcard segments (``*`` self-loops, ``?``) consume every label,
+        so any live state sitting on one makes the alphabet unbounded.
+        The serving layer's frontier evaluation uses a bounded alphabet
+        to probe the label index instead of scanning out-edges.
+        """
+        cached = self._alphabet_cache.get(states, _ALPHABET_MISS)
+        if cached is not _ALPHABET_MISS:
+            return cached
+        labels: set[str] = set()
+        result: frozenset[str] | None
+        for state in states:
+            if state >= self._accept:
+                continue
+            segment = self._segments[state]
+            if not isinstance(segment, LabelSegment):
+                self._alphabet_cache[states] = None
+                return None
+            labels.update(segment.labels)
+        result = frozenset(labels)
+        self._alphabet_cache[states] = result
+        return result
 
     def is_accepting(self, states: StateSet) -> bool:
         return self._accept in states
@@ -145,6 +212,95 @@ class PathNFA:
                 if key not in seen:
                     seen.add(key)
                     stack.append(key)
+        return results
+
+    def evaluate_frontier(
+        self,
+        store: ObjectStore,
+        start: str,
+        *,
+        label_index=None,
+        from_states: StateSet | None = None,
+    ) -> set[str]:
+        """Set-at-a-time :meth:`evaluate`: expand whole OID frontiers.
+
+        Objects sharing a state set are expanded level by level, so the
+        per-label NFA step is derived once per (state set, label) and
+        shared across the whole frontier (with :meth:`step`'s memo, once
+        ever).  When *label_index* (a
+        :class:`~repro.gsdb.indexes.LabelIndex`) is given and the
+        residual alphabet is bounded, each parent is expanded through
+        the children-by-label adjacency: one ``index_probes`` per
+        expanded parent replaces one ``edge_traversals`` per out-edge
+        whose label has no transition; admitted children charge one
+        ``edge_traversals`` + ``object_reads`` each (the
+        :func:`~repro.gsdb.traversal.follow_path` accounting — the
+        label test rides on the adjacency, existence on the uncharged
+        ``peek``).
+
+        Only pass a *label_index* built over the *same, unscoped* store:
+        a :class:`~repro.query.evaluator.ScopedStore` must keep the
+        scan path so out-of-scope children stay invisible (and charge
+        their probe reads).  Results are identical to :meth:`evaluate`
+        in all cases; cycle-safe the same way (each (object, state-set)
+        pair expands once).
+        """
+        initial = self.initial() if from_states is None else from_states
+        if not initial:
+            return set()
+        results: set[str] = set()
+        if self.is_accepting(initial):
+            results.add(start)
+        seen: set[tuple[str, StateSet]] = {(start, initial)}
+        peek = getattr(store, "peek", None)
+        indexed = label_index is not None and peek is not None
+        counters = store.counters
+        frontier: dict[StateSet, set[str]] = {initial: {start}}
+        while frontier:
+            next_frontier: dict[StateSet, set[str]] = {}
+
+            def admit(child: str, next_states: StateSet) -> None:
+                if self.is_accepting(next_states):
+                    results.add(child)
+                key = (child, next_states)
+                if key not in seen:
+                    seen.add(key)
+                    next_frontier.setdefault(next_states, set()).add(child)
+
+            # Deterministic expansion order keeps charged counts
+            # reproducible (sorted state sets, then sorted OIDs).
+            for states in sorted(frontier, key=sorted):
+                alphabet = (
+                    self.transition_labels(states) if indexed else None
+                )
+                if alphabet is not None and not alphabet:
+                    continue  # no live transition: nothing to expand
+                for oid in sorted(frontier[states]):
+                    obj = store.get_optional(oid)
+                    if obj is None or not obj.is_set:
+                        continue
+                    if alphabet is not None:
+                        by_label = label_index.children_by_label(oid)
+                        for label in sorted(alphabet & by_label.keys()):
+                            next_states = self.step(states, label)
+                            if not next_states:
+                                continue
+                            for child in by_label[label]:
+                                if peek(child) is None:
+                                    continue
+                                counters.edge_traversals += 1
+                                counters.object_reads += 1
+                                admit(child, next_states)
+                    else:
+                        for child in obj.children():
+                            counters.edge_traversals += 1
+                            child_obj = store.get_optional(child)
+                            if child_obj is None:
+                                continue
+                            next_states = self.step(states, child_obj.label)
+                            if next_states:
+                                admit(child, next_states)
+            frontier = next_frontier
         return results
 
     def evaluate_with_paths(

@@ -1,0 +1,139 @@
+"""The query server: cache + frontier evaluation + invalidation.
+
+:class:`QueryServer` is a drop-in for :class:`~repro.query.evaluator.
+QueryEvaluator` (``evaluate`` / ``evaluate_oids``) that
+
+1. canonicalizes the parsed query and answers repeats from the
+   :class:`~repro.serving.cache.QueryCache`,
+2. evaluates misses set-at-a-time
+   (:meth:`~repro.paths.automaton.PathNFA.evaluate_frontier`, probing
+   the label index when the query is unscoped — a
+   :class:`~repro.query.evaluator.ScopedStore` must keep the scan path
+   so out-of-scope objects stay invisible and charge their probes), and
+3. registers each cached answer with the
+   :class:`~repro.serving.invalidation.Invalidator` so later updates
+   evict exactly the answers they may change.
+
+A *cacheable* predicate lets integrations exclude queries whose
+dependencies change outside the update stream — the view catalog
+excludes queries resolving through virtual or materialized views
+(delegate surgery bypasses ``store.apply``; a materialized view is
+already its own cache), serving them fresh instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.gsdb.database import DatabaseRegistry
+from repro.gsdb.indexes import LabelIndex, ParentIndex
+from repro.gsdb.object import Object
+from repro.paths.automaton import compile_expression
+from repro.query.answer import make_answer
+from repro.query.ast import Query
+from repro.query.conditions import evaluate_condition
+from repro.query.evaluator import QueryEvaluator
+from repro.query.parser import parse_query
+from repro.serving.cache import QueryCache, cache_key
+from repro.serving.invalidation import Invalidator, build_screen
+
+
+class QueryServer:
+    """Front door for the read path; one instance per registry/store."""
+
+    def __init__(
+        self,
+        registry: DatabaseRegistry,
+        *,
+        parent_index: ParentIndex | None = None,
+        label_index: LabelIndex | None = None,
+        cache_size: int = 128,
+        use_frontier: bool = True,
+        cacheable: Callable[[Query], bool] | None = None,
+        subscribe: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.store = registry.store
+        self.parent_index = parent_index
+        self.label_index = label_index
+        self.use_frontier = use_frontier
+        self._cacheable = cacheable
+        self._evaluator = QueryEvaluator(registry)
+        self.cache = QueryCache(cache_size, counters=self.store.counters)
+        self.invalidator = Invalidator(
+            self.store,
+            self.cache,
+            parent_index=parent_index,
+            subscribe=subscribe,
+        )
+        self.cache.on_evict = self.invalidator.forget
+
+    # -- the QueryEvaluator interface ----------------------------------------
+
+    def evaluate(self, query: Query | str) -> Object:
+        """Evaluate and return the answer object (registered in store)."""
+        return make_answer(sorted(self.evaluate_oids(query)), store=self.store)
+
+    def evaluate_oids(self, query: Query | str) -> set[str]:
+        """Evaluate and return the raw answer OID set (cache-aware)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        entry_oid = self._evaluator._resolve_entry(query.entry)
+        if self._cacheable is not None and not self._cacheable(query):
+            return self._evaluate_fresh(query, entry_oid)
+        key = cache_key(query, entry_oid)
+        cached = self.cache.lookup(key)
+        if cached is not None:
+            return set(cached)
+        answer = self._evaluate_fresh(query, entry_oid)
+        self.cache.store(key, frozenset(answer))
+        self.invalidator.register(build_screen(key, self.registry))
+        return answer
+
+    # -- miss evaluation ------------------------------------------------------
+
+    def _evaluate_fresh(self, query: Query, entry_oid: str) -> set[str]:
+        """One uncached evaluation, frontier-style when possible."""
+        store = self._evaluator._scoped_store(query)
+        nfa = compile_expression(query.select_path)
+        if self.use_frontier:
+            index = self.label_index if query.within is None else None
+            candidates = nfa.evaluate_frontier(
+                store, entry_oid, label_index=index
+            )
+        else:
+            candidates = nfa.evaluate(store, entry_oid)
+        if query.condition is not None:
+            candidates = {
+                oid
+                for oid in candidates
+                if evaluate_condition(store, oid, query.condition)
+            }
+        if query.ans_int is not None:
+            candidates &= self.registry.members(query.ans_int)
+        return candidates
+
+    # -- out-of-band invalidation & stats -------------------------------------
+
+    def invalidate_entry(self, oid: str) -> int:
+        """Evict cached answers referencing *oid* (see
+        :meth:`~repro.serving.invalidation.Invalidator.
+        invalidate_touching`)."""
+        return self.invalidator.invalidate_touching(oid)
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache so far."""
+        counters = self.store.counters
+        total = counters.query_cache_hits + counters.query_cache_misses
+        return counters.query_cache_hits / total if total else 0.0
+
+    def stats(self) -> dict[str, int]:
+        """The cache counters plus the current cache size."""
+        counters = self.store.counters
+        return {
+            "hits": counters.query_cache_hits,
+            "misses": counters.query_cache_misses,
+            "evictions": counters.query_cache_evictions,
+            "invalidations": counters.query_cache_invalidations,
+            "entries": len(self.cache),
+        }

@@ -87,6 +87,8 @@ class ViewCatalog:
             self.store, parent_index=self.parent_index, subscribe=True
         )
         self.evaluator = QueryEvaluator(self.registry)
+        #: Optional read-path server (see :meth:`enable_serving`).
+        self.server = None
         self.virtual_views: dict[str, VirtualView] = {}
         self.materialized_views: dict[str, MaterializedView] = {}
         self.maintainers: dict[str, object] = {}
@@ -319,6 +321,68 @@ class ViewCatalog:
     def query_oids(self, text: str | Query) -> set[str]:
         """Like :meth:`query` but returns the raw OID set."""
         return set(self.query(text).children())
+
+    # -- read-path serving (experiment E16) -----------------------------------
+
+    def enable_serving(
+        self, *, cache_size: int = 128, use_frontier: bool = True
+    ):
+        """Attach a :class:`~repro.serving.server.QueryServer`.
+
+        The server shares the catalog's store, registry, parent index,
+        and label index (build the catalog with
+        ``with_label_index=True`` to give frontier evaluation its
+        children-by-label adjacency).  Queries resolving through a
+        virtual or materialized view are served fresh, never cached:
+        view maintenance rewires delegates without emitting store
+        updates, so the invalidator cannot see those changes — and a
+        materialized view is already its own cache.  Idempotent.
+        """
+        if self.server is None:
+            from repro.serving.server import QueryServer
+
+            self.server = QueryServer(
+                self.registry,
+                parent_index=self.parent_index,
+                label_index=self.label_index,
+                cache_size=cache_size,
+                use_frontier=use_frontier,
+                cacheable=self._cacheable_query,
+            )
+        return self.server
+
+    def _cacheable_query(self, query: Query) -> bool:
+        """False when the query's answer depends on view delegates."""
+        names = set(self.virtual_views) | set(self.materialized_views)
+        if {query.entry, query.within, query.ans_int} & names:
+            return False
+        return not any(
+            query.entry.startswith(name + ".") for name in names
+        )
+
+    def serve(self, text: str | Query) -> Object:
+        """Like :meth:`query`, through the serving layer's cache."""
+        if self.server is None:
+            self.enable_serving()
+        query = parse_query(text) if isinstance(text, str) else text
+        referenced = {query.entry, query.within, query.ans_int}
+        if referenced & set(self.virtual_views):
+            for name in self._definition_order:
+                if name in self.virtual_views:
+                    self.virtual_views[name].refresh()
+        return self.server.evaluate(query)
+
+    def serve_oids(self, text: str | Query) -> set[str]:
+        """Like :meth:`serve` but returns the raw OID set."""
+        if self.server is None:
+            self.enable_serving()
+        query = parse_query(text) if isinstance(text, str) else text
+        referenced = {query.entry, query.within, query.ans_int}
+        if referenced & set(self.virtual_views):
+            for name in self._definition_order:
+                if name in self.virtual_views:
+                    self.virtual_views[name].refresh()
+        return self.server.evaluate_oids(query)
 
     # -- maintenance helpers ---------------------------------------------------------
 

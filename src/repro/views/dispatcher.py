@@ -127,6 +127,7 @@ class PathContext:
         self._labels: dict[str, str | None] = {}
         self._paths: dict[tuple[str, str], list[str] | None] = {}
         self._chains: dict[tuple[str, str], list[str] | None] = {}
+        self._chain_sets: dict[str, tuple[frozenset[str], bool]] = {}
 
     def label(self, oid: str) -> str | None:
         """The label of *oid*, or None when absent (uncharged)."""
@@ -154,15 +155,40 @@ class PathContext:
             )
         return self._chains[key]
 
+    def chain_set(self, oid: str) -> tuple[frozenset[str], bool] | None:
+        """OIDs on *oid*'s upward chain to the top of its tree, plus
+        whether the walk stopped at a multi-parent node.
+
+        Entry-point-agnostic ancestry: the read-path invalidator
+        screens one update against *many* cached queries with different
+        entry points, so instead of one ``chain_between`` per entry it
+        takes the whole upward chain once and tests each entry for
+        membership.  Returns None when the context has no parent index
+        (callers must fail open).
+        """
+        if self.parent_index is None:
+            return None
+        if oid not in self._chain_sets:
+            oids, stopped = self.parent_index.chain_to_top(oid)
+            self._chain_sets[oid] = (frozenset(oids), stopped)
+        return self._chain_sets[oid]
+
 
 # ---------------------------------------------------------------------------
 # screening
 # ---------------------------------------------------------------------------
 
 
-def _expression_labels(expression: PathExpression) -> set[str] | None:
+def expression_labels(expression: PathExpression) -> set[str] | None:
     """Concrete labels an instance may step through; None means "any"
-    (the expression contains a wildcard segment)."""
+    (the expression contains a wildcard segment).
+
+    The label gate shared by the dispatcher's view screens and the
+    serving layer's query-cache invalidator: an edge update is relevant
+    to a path expression only if the moved child's label can appear
+    somewhere on an instance (every instance path through the edge
+    carries that label at the edge's position).
+    """
     labels: set[str] = set()
     for segment in expression.segments:
         if isinstance(segment, LabelSegment):
@@ -170,6 +196,10 @@ def _expression_labels(expression: PathExpression) -> set[str] | None:
         else:
             return None
     return labels
+
+
+#: Backwards-compatible private alias (pre-serving-layer name).
+_expression_labels = expression_labels
 
 
 def _comparisons(condition) -> list[Comparison]:
@@ -232,11 +262,11 @@ class _ExtendedScreen:
         comparisons = _comparisons(definition.condition)
         # Labels that can appear anywhere on a select instance or on a
         # condition witness path (edge updates).
-        edge_labels = _expression_labels(definition.select_expression)
+        edge_labels = expression_labels(definition.select_expression)
         for comp in comparisons:
             if edge_labels is None:
                 break
-            comp_labels = _expression_labels(comp.path)
+            comp_labels = expression_labels(comp.path)
             if comp_labels is None:
                 edge_labels = None
             else:

@@ -1,0 +1,109 @@
+"""Tests for frontier (set-at-a-time) evaluation and the step memo."""
+
+from repro.gsdb import LabelIndex, ObjectStore
+from repro.instrumentation import Meter
+from repro.paths import PathExpression, compile_expression
+from repro.workloads import TreeSpec, layered_tree
+
+
+def nfa_for(text: str):
+    return compile_expression(PathExpression.parse(text))
+
+
+class TestFrontierEquivalence:
+    EXPRESSIONS = (
+        "professor",
+        "professor.name",
+        "*.name",
+        "?.name",
+        "*",
+        "professor.student.name",
+        "(professor|student).name",
+    )
+
+    def test_matches_classic_on_person_dag(self, person_store):
+        for text in self.EXPRESSIONS:
+            nfa = nfa_for(text)
+            classic = nfa.evaluate(person_store, "ROOT")
+            plain = nfa.evaluate_frontier(person_store, "ROOT")
+            assert plain == classic, text
+
+    def test_matches_classic_with_label_index(self, person_store):
+        index = LabelIndex(person_store)
+        for text in self.EXPRESSIONS:
+            nfa = nfa_for(text)
+            classic = nfa.evaluate(person_store, "ROOT")
+            indexed = nfa.evaluate_frontier(
+                person_store, "ROOT", label_index=index
+            )
+            assert indexed == classic, text
+
+    def test_tracks_updates(self, person_store):
+        index = LabelIndex(person_store)
+        nfa = nfa_for("professor.name")
+        person_store.delete_edge("ROOT", "P1")
+        assert nfa.evaluate_frontier(
+            person_store, "ROOT", label_index=index
+        ) == nfa.evaluate(person_store, "ROOT")
+
+    def test_missing_entry_is_empty(self, person_store):
+        assert nfa_for("professor").evaluate_frontier(
+            person_store, "GHOST"
+        ) == set()
+
+    def test_cycle_terminates(self):
+        store = ObjectStore(check_references=False)
+        store.add_set("X", "node", ["Y"])
+        store.add_set("Y", "node", ["X"])
+        assert nfa_for("*").evaluate_frontier(store, "X") == {"X", "Y"}
+
+
+class TestFrontierCharging:
+    def test_indexed_frontier_skips_off_path_edges(self):
+        store, root = layered_tree(TreeSpec(depth=3, fanout=4, seed=5))
+        index = LabelIndex(store)
+        nfa = nfa_for("l1.l2")
+        with Meter(store.counters) as classic:
+            expected = nfa.evaluate(store, root)
+        with Meter(store.counters) as indexed:
+            assert (
+                nfa.evaluate_frontier(store, root, label_index=index)
+                == expected
+            )
+        assert (
+            indexed.delta.edge_traversals < classic.delta.edge_traversals
+        )
+        assert indexed.delta.index_probes > 0
+
+    def test_accept_only_frontier_not_expanded(self):
+        # ``l1`` accepts after one step: the frontier evaluator must not
+        # look at the accepted objects' children at all.
+        store, root = layered_tree(TreeSpec(depth=3, fanout=4, seed=5))
+        index = LabelIndex(store)
+        with Meter(store.counters) as meter:
+            nfa_for("l1").evaluate_frontier(store, root, label_index=index)
+        assert meter.delta.index_probes == 1  # the root only
+        assert meter.delta.edge_traversals == 4  # one per admitted child
+
+
+class TestStepMemo:
+    def test_identical_results_with_fewer_recomputations(self):
+        store, root = layered_tree(TreeSpec(depth=4, fanout=3, seed=2))
+        nfa = nfa_for("l1.l2.l3.l4")
+        first = nfa.evaluate(store, root)
+        computed_after_first = nfa.step_computations
+        assert computed_after_first > 0
+        second = nfa.evaluate(store, root)
+        assert second == first
+        # The second pass re-asks only memoized (state-set, label)
+        # transitions: zero new computations, hits instead.
+        assert nfa.step_computations == computed_after_first
+        assert nfa.step_cache_hits > 0
+
+    def test_memo_is_per_state_set_and_label(self):
+        nfa = nfa_for("a.b")
+        states = nfa.initial()
+        once = nfa.step(states, "a")
+        again = nfa.step(states, "a")
+        assert once == again
+        assert nfa.step_cache_hits >= 1

@@ -1,0 +1,128 @@
+"""Tests for the bounded query-result cache and its canonical keys."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.serving.cache import (
+    CacheKey,
+    QueryCache,
+    cache_key,
+    normalize_condition,
+)
+
+
+def key_for(text: str, entry_oid: str = "ROOT") -> CacheKey:
+    return cache_key(parse_query(text), entry_oid)
+
+
+class TestCanonicalKeys:
+    def test_same_query_same_key(self):
+        a = key_for("SELECT ROOT.professor X WHERE X.age > 40")
+        b = key_for("SELECT ROOT.professor X WHERE X.age > 40")
+        assert a == b
+
+    def test_commuted_and_operands_share_a_key(self):
+        a = key_for(
+            "SELECT ROOT.professor X WHERE X.age > 40 AND X.name = 'John'"
+        )
+        b = key_for(
+            "SELECT ROOT.professor X WHERE X.name = 'John' AND X.age > 40"
+        )
+        assert a == b
+
+    def test_commuted_or_operands_share_a_key(self):
+        a = key_for("SELECT ROOT.? X WHERE X.age > 40 OR X.age < 10")
+        b = key_for("SELECT ROOT.? X WHERE X.age < 10 OR X.age > 40")
+        assert a == b
+
+    def test_nested_not_normalized(self):
+        a = key_for(
+            "SELECT ROOT.? X WHERE NOT (X.age > 40 AND X.name = 'John')"
+        )
+        b = key_for(
+            "SELECT ROOT.? X WHERE NOT (X.name = 'John' AND X.age > 40)"
+        )
+        assert a == b
+
+    def test_and_vs_or_stay_distinct(self):
+        a = key_for("SELECT ROOT.? X WHERE X.age > 40 AND X.age < 90")
+        b = key_for("SELECT ROOT.? X WHERE X.age > 40 OR X.age < 90")
+        assert a != b
+
+    def test_different_paths_differ(self):
+        assert key_for("SELECT ROOT.professor X") != key_for(
+            "SELECT ROOT.student X"
+        )
+
+    def test_entry_oid_is_part_of_the_key(self):
+        text = "SELECT DB.professor X"
+        assert key_for(text, "O1") != key_for(text, "O2")
+
+    def test_scopes_are_part_of_the_key(self):
+        bare = key_for("SELECT ROOT.professor X")
+        within = key_for("SELECT ROOT.professor X WITHIN D1")
+        ans_int = key_for("SELECT ROOT.professor X ANS INT D1")
+        assert len({bare, within, ans_int}) == 3
+
+    def test_normalize_condition_none(self):
+        assert normalize_condition(None) is None
+
+
+class TestLruBehavior:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            QueryCache(0)
+
+    def test_miss_then_hit(self):
+        cache = QueryCache(4)
+        key = key_for("SELECT ROOT.professor X")
+        assert cache.lookup(key) is None
+        cache.store(key, frozenset({"P1"}))
+        assert cache.lookup(key) == frozenset({"P1"})
+        assert cache.counters.query_cache_misses == 1
+        assert cache.counters.query_cache_hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(2)
+        k1, k2, k3 = (key_for(f"SELECT ROOT.l{i} X") for i in (1, 2, 3))
+        cache.store(k1, frozenset())
+        cache.store(k2, frozenset())
+        cache.lookup(k1)  # freshen k1 so k2 is the LRU victim
+        cache.store(k3, frozenset())
+        assert k1 in cache and k3 in cache and k2 not in cache
+        assert cache.counters.query_cache_evictions == 1
+
+    def test_eviction_callback_fires(self):
+        evicted = []
+        cache = QueryCache(1, on_evict=evicted.append)
+        k1, k2 = key_for("SELECT ROOT.a X"), key_for("SELECT ROOT.b X")
+        cache.store(k1, frozenset())
+        cache.store(k2, frozenset())
+        assert evicted == [k1]
+
+    def test_invalidate_counts_and_calls_back(self):
+        evicted = []
+        cache = QueryCache(4, on_evict=evicted.append)
+        key = key_for("SELECT ROOT.a X")
+        cache.store(key, frozenset({"X"}))
+        assert cache.invalidate(key) is True
+        assert cache.invalidate(key) is False  # already gone
+        assert evicted == [key]
+        assert cache.counters.query_cache_invalidations == 1
+        assert len(cache) == 0
+
+    def test_clear_drops_everything(self):
+        cache = QueryCache(4)
+        for i in range(3):
+            cache.store(key_for(f"SELECT ROOT.l{i} X"), frozenset())
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.counters.query_cache_invalidations == 3
+
+    def test_store_refresh_keeps_single_entry(self):
+        cache = QueryCache(4)
+        key = key_for("SELECT ROOT.a X")
+        cache.store(key, frozenset({"X"}))
+        cache.store(key, frozenset({"Y"}))
+        assert len(cache) == 1
+        assert cache.lookup(key) == frozenset({"Y"})

@@ -111,6 +111,37 @@ class TestViewCommands:
         assert "no view named ZZ" in run("members ZZ")
 
 
+class TestServeCommands:
+    def test_serve_reports_cache_origin(self, person_file):
+        output = run(
+            f"load {person_file}",
+            "serve SELECT ROOT.professor X",
+            "serve SELECT ROOT.professor X",
+        )
+        assert output.count("= {P1, P2}") == 2
+        assert "(evaluated)" in output
+        assert "(cache hit)" in output
+
+    def test_serve_sees_updates(self, person_file):
+        output = run(
+            f"load {person_file}",
+            "serve SELECT ROOT.professor.age X",
+            "new A2 age 40",
+            "insert P2 A2",
+            "serve SELECT ROOT.professor.age X",
+        )
+        assert "= {A1}" in output
+        assert "= {A1, A2}" in output
+
+    def test_serve_usage(self):
+        assert "usage: serve SELECT" in run("serve nonsense")
+
+    def test_bench_serve_runs_oracle(self):
+        output = run("bench-serve 40 0.8 16 3")
+        assert "hit rate" in output
+        assert "0 stale reads" in output
+
+
 class TestErgonomics:
     def test_unknown_command(self):
         assert "unknown command" in run("frobnicate")
