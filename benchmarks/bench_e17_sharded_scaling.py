@@ -1,0 +1,139 @@
+"""E17 — sharded maintenance scaling on the E14 multi-view workload.
+
+The E14 fixture (64 disjoint branches, 32 prefix views, a 256-update
+round-robin stream — now shared via :mod:`repro.workloads.multiview`)
+runs over an OID-hash-partitioned :class:`~repro.gsdb.sharding.
+ShardedStore` at 1/2/4/8 shards, maintained by the
+:class:`~repro.views.parallel.ParallelDispatcher` in batches of 16.
+
+Cost model (logical, as everywhere in this repo — threads buy no CPU
+under the GIL): screening and apply charges land on the counters of
+the shard that *owns* each update, chain-memo work shared across
+shards lands on the store's global counters.  Per batch that yields
+
+* **total** — all base accesses, conserved across shard counts (the
+  partitioning moves work, it must not add or drop any);
+* **busiest shard** — the critical path of one-maintenance-worker-per-
+  shard deployment (:func:`~repro.views.parallel.critical_path_cost`'s
+  model, here as a maintenance-only delta);
+* **scaling** — partitioned work / busiest shard: how evenly the hash
+  spreads the maintenance load (upper bound: the shard count);
+* **speedup** — 1-shard total / (busiest + shared): the end-to-end
+  Amdahl speedup, capped by the shared chain-memo work.
+
+Acceptance: view extents byte-equal to an unsharded serially
+dispatched run at every shard count, totals conserved, and scaling
+strictly increasing from 1 to 4 shards.
+"""
+
+import pytest
+
+from _common import emit
+from repro.gsdb import ObjectStore, ParentIndex, ShardedParentIndex, ShardedStore
+from repro.views import MaintenanceDispatcher, ParallelDispatcher
+from repro.workloads import multiview as mv
+
+SHARD_COUNTS = (1, 2, 4, 8)
+BATCH_SIZE = 16
+NVIEWS = 32
+
+
+def run_unsharded():
+    """The reference run: plain store, serial dispatcher, same batches."""
+    store = mv.build_store()
+    index = ParentIndex(store)
+    dispatcher = MaintenanceDispatcher(store, parent_index=index, subscribe=True)
+    views = mv.build_views(store, NVIEWS, parent_index=index, dispatcher=dispatcher)
+    mv.run_stream(store, dispatcher=dispatcher, batch_size=BATCH_SIZE)
+    failures = mv.audit_views(views)
+    assert not failures, failures
+    return mv.view_extents(views)
+
+
+def run_sharded(shards: int):
+    """One sharded run; returns (extents, per-shard deltas, shared delta)."""
+    store = ShardedStore(shards)
+    mv.build_store(store)
+    index = ShardedParentIndex(store)
+    dispatcher = ParallelDispatcher(
+        store, parent_index=index, subscribe=True, workers=shards
+    )
+    views = mv.build_views(store, NVIEWS, parent_index=index, dispatcher=dispatcher)
+    shard_before = [s.counters.snapshot() for s in store.shard_stores()]
+    shared_before = store.counters.snapshot()
+    mv.run_stream(store, dispatcher=dispatcher, batch_size=BATCH_SIZE)
+    failures = mv.audit_views(views)
+    assert not failures, failures
+    per_shard = [
+        s.counters.delta_since(b).total_base_accesses()
+        for s, b in zip(store.shard_stores(), shard_before)
+    ]
+    shared = store.counters.delta_since(shared_before).total_base_accesses()
+    if shards > 1:  # the fan-out path actually ran
+        assert dispatcher.parallel_batches == mv.UPDATES // BATCH_SIZE
+    return mv.view_extents(views), per_shard, shared
+
+
+def run_sweep():
+    reference = run_unsharded()
+    rows = []
+    totals = []
+    scalings = []
+    speedups = []
+    baseline_total = None
+    for shards in SHARD_COUNTS:
+        extents, per_shard, shared = run_sharded(shards)
+        assert extents == reference, f"{shards} shards: extents diverged"
+        partitioned = sum(per_shard)
+        busiest = max(per_shard)
+        total = partitioned + shared
+        if baseline_total is None:
+            baseline_total = total
+        scaling = round(partitioned / max(1, busiest), 2)
+        speedup = round(baseline_total / max(1, busiest + shared), 2)
+        rows.append([shards, total, shared, busiest, scaling, speedup])
+        totals.append(total)
+        scalings.append(scaling)
+        speedups.append(speedup)
+    return rows, totals, scalings, speedups
+
+
+def test_e17_sharded_scaling_table():
+    rows, totals, scalings, speedups = run_sweep()
+    emit(
+        "E17: parallel maintenance of the E14 workload over 1/2/4/8 "
+        "OID-hashed shards (base accesses; batches of 16)",
+        ["shards", "total", "shared", "busiest shard", "scaling", "speedup"],
+        rows,
+        note="total work is conserved while the busiest shard shrinks: "
+        "scaling (partitioned work / busiest shard) tracks the shard "
+        "count, and the end-to-end speedup follows Amdahl's law — "
+        "bounded by the shared chain-memo work that no partitioning "
+        "removes",
+        filename="e17_sharded_scaling.txt",
+        config={
+            "branches": mv.BRANCHES,
+            "items": mv.ITEMS,
+            "updates": mv.UPDATES,
+            "views": NVIEWS,
+            "batch_size": BATCH_SIZE,
+            "shard_counts": str(SHARD_COUNTS),
+        },
+    )
+    # Partitioning must conserve work: no shard count adds or drops
+    # base accesses relative to the single-shard run.
+    assert len(set(totals)) == 1, totals
+    # The tentpole claim: throughput scales monotonically 1 -> 4 shards
+    # (and on to 8 for this workload's 64-way branch fan-out).
+    assert scalings == sorted(scalings), scalings
+    assert scalings[0] < scalings[1] < scalings[2], scalings
+    assert speedups[0] < speedups[1] < speedups[2], speedups
+    # Scaling never exceeds the shard count (it is a load-balance ratio).
+    for shards, scaling in zip(SHARD_COUNTS, scalings):
+        assert scaling <= shards, (shards, scaling)
+
+
+@pytest.mark.benchmark(group="e17")
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_e17_maintenance_stream(benchmark, shards):
+    benchmark.pedantic(lambda: run_sharded(shards), rounds=3, iterations=1)

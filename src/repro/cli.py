@@ -30,6 +30,7 @@ Commands (``help`` prints this at the prompt):
 ``members NAME``         list a view's members
 ``check [NAME]``         audit one view (or all) against recomputation
 ``counters``             show cost counters
+``shards``               show shard layout (sharded stores only)
 ``chaos [SEED [STEPS [RATE [LEVEL]]]]``  run a fault-injection round
 ``serve SELECT ...``     run a query through the cached serving layer
 ``bench-serve [STEPS [RATIO [CACHE [SEED]]]]``  mixed read/update round
@@ -95,6 +96,7 @@ class Shell:
             "members": self.cmd_members,
             "check": self.cmd_check,
             "counters": self.cmd_counters,
+            "shards": self.cmd_shards,
             "chaos": self.cmd_chaos,
             "bench-serve": self.cmd_bench_serve,
             "help": self.cmd_help,
@@ -288,12 +290,23 @@ class Shell:
             self._print(f"{name}: {report.describe()}")
 
     def cmd_counters(self, args: list[str]) -> None:
-        counters = self.catalog.store.counters.as_dict()
+        store = self.catalog.store
+        combined = getattr(store, "combined_counters", None)
+        counters = (
+            combined() if combined is not None else store.counters
+        ).as_dict()
         if not counters:
             self._print("(all zero)")
             return
         for key, value in counters.items():
             self._print(f"{key}: {value:,}")
+
+    def cmd_shards(self, args: list[str]) -> None:
+        describe = getattr(self.catalog.store, "describe", None)
+        if describe is None:
+            self._print("store is not sharded (start with --shards N)")
+            return
+        self._print(describe())
 
     def _serve_statement(self, text: str) -> None:
         """serve SELECT ... — query through the catalog's cached read
@@ -365,13 +378,35 @@ class Shell:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: ``python -m repro [script.gsdbsh | data.gsdb]``.
+    """Entry point: ``python -m repro [--shards N] [script.gsdbsh | data.gsdb]``.
 
     A ``.gsdb`` argument is loaded as data before the REPL starts; any
-    other argument is executed as a command script.
+    other argument is executed as a command script.  ``--shards N``
+    (N > 1) backs the session with an OID-hash-partitioned
+    :class:`~repro.gsdb.sharding.ShardedStore` and parallel view
+    maintenance — the ``shards`` command then shows the layout.
     """
     args = list(sys.argv[1:] if argv is None else argv)
-    shell = Shell()
+    shards: int | None = None
+    remaining: list[str] = []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--shards":
+            if index + 1 >= len(args):
+                print("usage: --shards N", file=sys.stderr)
+                return 2
+            shards = int(args[index + 1])
+            index += 2
+            continue
+        if arg.startswith("--shards="):
+            shards = int(arg.split("=", 1)[1])
+            index += 1
+            continue
+        remaining.append(arg)
+        index += 1
+    args = remaining
+    shell = Shell(ViewCatalog(shards=shards) if shards else None)
     for arg in args:
         if arg.endswith(".gsdb"):
             shell.cmd_load([arg])

@@ -35,11 +35,18 @@ from repro.gsdb.serialization import (
     load_store,
     parse_object,
 )
+from repro.gsdb.sharding import (
+    BorderIndex,
+    ShardedParentIndex,
+    ShardedStore,
+    shard_of,
+)
 from repro.gsdb.store import ObjectStore
 from repro.gsdb.updates import Delete, Insert, Modify, Update, UpdateLog
 from repro.gsdb.validation import Shape, validate_store
 
 __all__ = [
+    "BorderIndex",
     "DatabaseRegistry",
     "Delete",
     "Insert",
@@ -50,6 +57,8 @@ __all__ = [
     "OidGenerator",
     "ParentIndex",
     "Shape",
+    "ShardedParentIndex",
+    "ShardedStore",
     "Update",
     "UpdateLog",
     "base_of_delegate",
@@ -65,6 +74,7 @@ __all__ = [
     "load_store",
     "parse_object",
     "reachable_from",
+    "shard_of",
     "split_delegate_oid",
     "union",
     "validate_store",

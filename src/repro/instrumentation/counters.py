@@ -44,6 +44,14 @@ Counter semantics
 ``query_cache_evictions`` entries dropped by the cache's LRU bound
 ``query_cache_invalidations`` entries precisely invalidated because an
                       update could affect their answer (experiment E16)
+``border_probes``     lookups in a sharded store's border index (the
+                      cross-shard edge catalogue, experiment E17);
+                      counted apart from ``index_probes`` so the cost
+                      of crossing shard boundaries is visible
+``failopen_cross_shard`` serving-cache invalidations that failed open
+                      because the anchor's ancestry could not be
+                      resolved past a shard border (the invalidator's
+                      reachability screen gave up, experiment E17)
 
 The cache/screening counters are bookkeeping, not base accesses, so
 they do not contribute to :meth:`CostCounters.total_base_accesses` —
@@ -93,6 +101,8 @@ class CostCounters:
     query_cache_misses: int = 0
     query_cache_evictions: int = 0
     query_cache_invalidations: int = 0
+    border_probes: int = 0
+    failopen_cross_shard: int = 0
     notes: dict[str, int] = field(default_factory=dict)
 
     # -- arithmetic --------------------------------------------------------

@@ -72,20 +72,60 @@ class ViewCatalog:
         *,
         with_parent_index: bool = True,
         with_label_index: bool = False,
+        shards: int | None = None,
+        workers: int = 4,
     ) -> None:
-        self.store = store if store is not None else ObjectStore()
+        """Args:
+        store: an existing store to wrap; a fresh one is created when
+            omitted (sharded when *shards* > 1).
+        shards: partition the catalog's store into this many
+            OID-hashed shards (see :mod:`repro.gsdb.sharding`) and
+            maintain views with the parallel dispatcher.  Only valid
+            when *store* is omitted; passing a
+            :class:`~repro.gsdb.sharding.ShardedStore` as *store* has
+            the same effect.
+        workers: screening thread-pool width of the
+            :class:`~repro.views.parallel.ParallelDispatcher` (sharded
+            catalogs only; results are worker-count-invariant).
+        """
+        if store is not None and shards is not None:
+            raise ValueError("pass either a store or a shard count")
+        if store is None:
+            if shards is not None and shards > 1:
+                from repro.gsdb.sharding import ShardedStore
+
+                store = ShardedStore(shards)
+            else:
+                store = ObjectStore()
+        self.store = store
+        sharded = getattr(store, "shard_count", 1) > 1
         self.registry = DatabaseRegistry(self.store)
-        self.parent_index = (
-            ParentIndex(self.store) if with_parent_index else None
-        )
+        if not with_parent_index:
+            self.parent_index = None
+        elif sharded:
+            from repro.gsdb.sharding import ShardedParentIndex
+
+            self.parent_index = ShardedParentIndex(self.store)
+        else:
+            self.parent_index = ParentIndex(self.store)
         self.label_index = LabelIndex(self.store) if with_label_index else None
         # The single store subscriber fanning updates to all view
         # maintainers (screened, with a shared per-update PathContext).
         # Subscribed after the indexes so they are fresh when
         # maintenance runs.
-        self.dispatcher = MaintenanceDispatcher(
-            self.store, parent_index=self.parent_index, subscribe=True
-        )
+        if sharded:
+            from repro.views.parallel import ParallelDispatcher
+
+            self.dispatcher = ParallelDispatcher(
+                self.store,
+                parent_index=self.parent_index,
+                subscribe=True,
+                workers=workers,
+            )
+        else:
+            self.dispatcher = MaintenanceDispatcher(
+                self.store, parent_index=self.parent_index, subscribe=True
+            )
         self.evaluator = QueryEvaluator(self.registry)
         #: Optional read-path server (see :meth:`enable_serving`).
         self.server = None

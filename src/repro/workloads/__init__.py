@@ -7,6 +7,11 @@ from repro.workloads.generators import (
     layered_tree,
     random_labelled_tree,
 )
+from repro.workloads.multiview import (
+    build_store as build_multiview_store,
+    build_views as build_multiview_views,
+    run_stream as run_multiview_stream,
+)
 from repro.workloads.scenarios import (
     PERSON_OIDS,
     insert_tuple,
@@ -22,8 +27,11 @@ __all__ = [
     "TreeSpec",
     "UpdateMix",
     "UpdateStream",
+    "build_multiview_store",
+    "build_multiview_views",
     "burst_of_tuples",
     "count_objects",
+    "run_multiview_stream",
     "insert_tuple",
     "layered_dag",
     "layered_tree",

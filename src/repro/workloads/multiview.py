@@ -1,0 +1,171 @@
+"""The E14 multi-view workload, re-expressed as a reusable fixture.
+
+Benchmark E14 introduced the shape — a 64-branch tree (``root -> s<b>
+-> item<b>_<i> -> val<b>_<i>``), disjoint-prefix views (``SELECT
+root.s<v>.item X WHERE X.val > 50``), and a deterministic round-robin
+update stream — but kept it module-private.  Experiment E17 (sharded
+scaling) and the parallel-dispatch determinism tests need the *same*
+bytes over different stores (plain vs :class:`~repro.gsdb.sharding.
+ShardedStore`) and different dispatchers (serial vs :class:`~repro.
+views.parallel.ParallelDispatcher`, 1 vs N workers), so the fixture
+lives here, parameterized by the store and dispatcher it drives.
+
+Everything is seed-free and hash-order-free: object placement, update
+order, and values derive from arithmetic on loop indices only, so two
+runs agree byte-for-byte regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gsdb.store import ObjectStore
+from repro.views import (
+    MaterializedView,
+    SimpleViewMaintainer,
+    ViewDefinition,
+    check_consistency,
+    populate_view,
+)
+
+#: The E14 constants — shared so E17 measures the workload E14 defined.
+BRANCHES = 64
+ITEMS = 8
+UPDATES = 256
+VIEWS = 32
+
+
+def branch_value(branch: int, item: int) -> int:
+    """The deterministic seed value of ``val<branch>_<item>``."""
+    return (branch * 13 + item * 37) % 100
+
+
+def build_store(store=None, *, branches: int = BRANCHES, items: int = ITEMS):
+    """Populate *store* (default: a fresh :class:`ObjectStore`) with the
+    E14 tree and return it.  Works over any store with ``add_tree``."""
+    if store is None:
+        store = ObjectStore()
+    branch_specs = []
+    for b in range(branches):
+        item_specs = [
+            (
+                f"item{b}_{i}",
+                "item",
+                [(f"val{b}_{i}", "val", branch_value(b, i))],
+            )
+            for i in range(items)
+        ]
+        branch_specs.append((f"s{b}", f"s{b}", item_specs))
+    store.add_tree(("root", "root", branch_specs))
+    return store
+
+
+def definition_text(view: int) -> str:
+    """The disjoint-prefix definition of view number *view*."""
+    return (
+        f"define mview V{view} as: "
+        f"SELECT root.s{view}.item X WHERE X.val > 50"
+    )
+
+
+def build_views(
+    store,
+    nviews: int = VIEWS,
+    *,
+    parent_index=None,
+    dispatcher=None,
+) -> list[MaterializedView]:
+    """*nviews* maintained views over *store*.
+
+    With a *dispatcher*, maintainers register there (screened, shared
+    path context); without one, each subscribes to the store directly.
+    """
+    views = []
+    for v in range(nviews):
+        definition = ViewDefinition.parse(definition_text(v))
+        view = MaterializedView(definition, store, ObjectStore())
+        populate_view(view)
+        maintainer = SimpleViewMaintainer(
+            view, parent_index=parent_index, subscribe=(dispatcher is None)
+        )
+        if dispatcher is not None:
+            dispatcher.register(maintainer)
+        views.append(view)
+    return views
+
+
+def run_stream(
+    store,
+    *,
+    updates: int = UPDATES,
+    branches: int = BRANCHES,
+    items: int = ITEMS,
+    dispatcher=None,
+    batch_size: int | None = None,
+) -> None:
+    """The E14 update stream: groups of four per branch — two modifies
+    on the same atom (the second meets a warm chain cache), then item
+    insert/delete churn (which clears it).
+
+    With *batch_size* and a *dispatcher*, updates flow through
+    ``dispatcher.batch()`` in fixed-size chunks (coalesced, and fanned
+    out per shard when the dispatcher is parallel); otherwise each
+    update dispatches as it applies.
+    """
+
+    def step(k: int) -> None:
+        b = (k // 4) % branches
+        i = (k // (4 * branches)) % items
+        if k % 4 < 2:
+            store.modify_value(f"val{b}_{i}", (k * 7) % 100)
+        elif k % 4 == 2:
+            store.add_set(f"extra{k}", "item")
+            store.add_atomic(f"extraval{k}", "val", 75)
+            store.insert_edge(f"extra{k}", f"extraval{k}")
+            store.insert_edge(f"s{b}", f"extra{k}")
+        else:
+            store.delete_edge(f"s{b}", f"extra{k - 1}")
+
+    if batch_size is None or dispatcher is None:
+        for k in range(updates):
+            step(k)
+        return
+    start = 0
+    while start < updates:
+        with dispatcher.batch():
+            for k in range(start, min(start + batch_size, updates)):
+                step(k)
+        start += batch_size
+
+
+def view_extents(views: Sequence[MaterializedView]) -> dict[str, frozenset[str]]:
+    """Name -> member OIDs, for byte-equality across runs."""
+    return {
+        view.definition.name: frozenset(view.members()) for view in views
+    }
+
+
+def audit_views(views: Sequence[MaterializedView]) -> list[str]:
+    """Recompute every view; returns the failing reports' descriptions
+    (empty means all consistent)."""
+    failures = []
+    for view in views:
+        report = check_consistency(view)
+        if not report.ok:
+            failures.append(f"{view.definition.name}: {report.describe()}")
+    return failures
+
+
+__all__ = [
+    "BRANCHES",
+    "ITEMS",
+    "UPDATES",
+    "VIEWS",
+    "audit_views",
+    "branch_value",
+    "build_store",
+    "build_views",
+    "definition_text",
+    "run_stream",
+    "view_extents",
+]

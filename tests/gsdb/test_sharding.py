@@ -1,0 +1,247 @@
+"""Cross-shard equivalence tests for :mod:`repro.gsdb.sharding`.
+
+The directed companions to the stateful model suite
+(``tests/property/test_sharded_model.py``): each test constructs a
+specific cross-shard situation — a parent and child on different
+shards, a subtree spanning shards deleted in one update, a
+mark-and-sweep across the whole partition — and checks the sharded
+store behaves byte-for-byte like an unsharded one while keeping its
+border index exact.
+"""
+
+import pytest
+
+from repro.gsdb import (
+    BorderIndex,
+    ObjectStore,
+    ShardedParentIndex,
+    ShardedStore,
+    shard_of,
+)
+from repro.gsdb.gc import collect_garbage, reachable_from
+from repro.gsdb.serialization import dump_store
+from repro.gsdb.updates import Delete, Insert, Modify
+from repro.instrumentation import CostCounters
+
+
+def oid_on_shard(shard: int, shards: int, prefix: str = "o") -> str:
+    """A deterministic OID that hashes to *shard* of *shards*."""
+    for i in range(10_000):
+        oid = f"{prefix}{i}"
+        if shard_of(oid, shards) == shard:
+            return oid
+    raise AssertionError("no OID found")  # pragma: no cover
+
+
+def paired_stores(shards: int = 4):
+    return ObjectStore(), ShardedStore(shards)
+
+
+def assert_equivalent(oracle: ObjectStore, sharded: ShardedStore) -> None:
+    assert dump_store(oracle) == dump_store(sharded)
+    assert oracle.log.entries == sharded.log.entries
+    assert len(oracle) == len(sharded)
+
+
+class TestPlacement:
+    def test_shard_of_is_stable_and_total(self):
+        for oid in ("root", "s1", "item3_4", "val63_7", ""):
+            shard = shard_of(oid, 4)
+            assert 0 <= shard < 4
+            assert shard == shard_of(oid, 4)  # no per-process salt
+
+    def test_objects_land_on_their_hash_shard(self):
+        store = ShardedStore(4)
+        for i in range(40):
+            store.add_atomic(f"a{i}", "a", i)
+        for shard, sub in enumerate(store.shard_stores()):
+            assert all(store.shard_of(oid) == shard for oid in sub.oids())
+        assert sum(store.shard_sizes()) == 40
+
+    def test_single_shard_degenerates(self):
+        store = ShardedStore(1)
+        store.add_set("root", "root")
+        store.add_atomic("x", "a", 1)
+        store.insert_edge("root", "x")
+        assert len(store.border) == 0
+        assert store.shard_sizes() == (2,)
+
+
+class TestCrossShardEdges:
+    def test_parent_and_child_on_different_shards(self):
+        shards = 4
+        parent = oid_on_shard(0, shards, "p")
+        child = oid_on_shard(3, shards, "c")
+        oracle, sharded = paired_stores(shards)
+        for store in (oracle, sharded):
+            store.add_set(parent, "a")
+            store.add_atomic(child, "b", 7)
+            store.apply(Insert(parent, child))
+        assert_equivalent(oracle, sharded)
+        assert sharded.border.peek_parents(child) == {parent}
+        assert sharded.border.is_border(parent, child)
+        # The stitched index resolves the chain across the border.
+        index = ShardedParentIndex(sharded)
+        assert index.parent(child) == parent
+
+    def test_same_shard_edge_stays_off_the_border(self):
+        shards = 4
+        parent = oid_on_shard(1, shards, "p")
+        child = oid_on_shard(1, shards, "c")
+        sharded = ShardedStore(shards)
+        sharded.add_set(parent, "a")
+        sharded.add_atomic(child, "b", 7)
+        sharded.apply(Insert(parent, child))
+        assert len(sharded.border) == 0
+
+    def test_delete_edge_clears_border(self):
+        shards = 4
+        parent = oid_on_shard(0, shards, "p")
+        child = oid_on_shard(3, shards, "c")
+        sharded = ShardedStore(shards)
+        sharded.add_set(parent, "a")
+        sharded.add_atomic(child, "b", 7)
+        sharded.apply(Insert(parent, child))
+        sharded.apply(Delete(parent, child))
+        assert len(sharded.border) == 0
+        assert not sharded.border.has_cross_parents(child)
+
+    def test_modify_routes_to_owner_shard(self):
+        shards = 4
+        oid = oid_on_shard(2, shards, "m")
+        oracle, sharded = paired_stores(shards)
+        for store in (oracle, sharded):
+            store.add_atomic(oid, "a", 1)
+            store.apply(Modify(oid, 1, 2))
+        assert_equivalent(oracle, sharded)
+        assert sharded.owner(Modify(oid, 2, 3)) == 2
+        assert sharded.shard_sequences()[2] == 1
+
+    def test_insert_validation_matches_unsharded(self):
+        oracle, sharded = paired_stores(4)
+        for store in (oracle, sharded):
+            store.add_set("root", "root")
+            store.add_atomic("x", "a", 1)
+        cases = [
+            Insert("ghost", "x"),  # unknown parent
+            Insert("x", "root"),  # parent not a set
+            Insert("root", "ghost"),  # unknown child
+        ]
+        for update in cases:
+            errors = []
+            for store in (oracle, sharded):
+                with pytest.raises(Exception) as info:
+                    store.apply(update)
+                errors.append((type(info.value), str(info.value)))
+            assert errors[0] == errors[1], update
+
+
+class TestCrossShardSubtreeDelete:
+    def build(self, shards: int = 4):
+        """root -> grp -> {leafN} with grp and leaves scattered over
+        shards; returns (oracle, sharded, grp, leaves)."""
+        grp = oid_on_shard(1, shards, "grp")
+        leaves = [oid_on_shard(s, shards, f"leaf{s}_") for s in range(shards)]
+        oracle, sharded = paired_stores(shards)
+        for store in (oracle, sharded):
+            store.add_set("root", "root")
+            store.add_set(grp, "a")
+            store.apply(Insert("root", grp))
+            for shard, leaf in enumerate(leaves):
+                store.add_atomic(leaf, "b", shard * 10)
+                store.apply(Insert(grp, leaf))
+        return oracle, sharded, grp, leaves
+
+    def test_detach_spanning_subtree(self):
+        oracle, sharded, grp, leaves = self.build()
+        occupied = {sharded.shard_of(oid) for oid in [grp, *leaves]}
+        assert len(occupied) > 1  # the subtree genuinely spans shards
+        for store in (oracle, sharded):
+            store.apply(Delete("root", grp))
+        assert_equivalent(oracle, sharded)
+        # Detached, not destroyed: Algorithm 1's delete case still
+        # reads the subtree, so every object remains resident.
+        for leaf in leaves:
+            assert leaf in sharded
+        # Intra-subtree cross-shard edges remain on the border.
+        assert any(sharded.border.has_cross_parents(leaf) for leaf in leaves)
+
+    def test_gc_collects_across_shards(self):
+        oracle, sharded, grp, leaves = self.build()
+        for store in (oracle, sharded):
+            store.apply(Delete("root", grp))
+            collected = collect_garbage(store, ["root"])
+            assert collected == {grp, *leaves}
+        assert_equivalent(oracle, sharded)
+        assert len(sharded) == 1  # only root survives, on its shard
+        # Sweeping removed every border edge the subtree contributed.
+        assert len(sharded.border) == 0
+
+    def test_reachability_crosses_borders(self):
+        _oracle, sharded, grp, leaves = self.build()
+        alive = reachable_from(sharded, ["root"])
+        assert alive == {"root", grp, *leaves}
+
+    def test_gc_keeps_cross_shard_database_members(self):
+        oracle, sharded, grp, leaves = self.build()
+        keeper = leaves[0]
+        for store in (oracle, sharded):
+            store.add_set("KEEP", "database", [keeper])
+            store.apply(Delete("root", grp))
+            collected = collect_garbage(store, ["root", "KEEP"])
+            assert keeper not in collected
+            assert grp in collected
+        assert_equivalent(oracle, sharded)
+
+
+class TestBorderIndex:
+    def test_charged_and_uncharged_lookups(self):
+        counters = CostCounters()
+        border = BorderIndex(counters)
+        border.add_edge("p", "c")
+        assert border.parents_across("c") == {"p"}
+        assert border.children_across("p") == {"c"}
+        assert counters.border_probes == 2
+        # Bookkeeping reads stay free.
+        assert border.peek_parents("c") == {"p"}
+        assert border.has_cross_parents("c")
+        assert border.is_border("p", "c")
+        assert counters.border_probes == 2
+
+    def test_forget_drops_both_directions(self):
+        border = BorderIndex(CostCounters())
+        border.add_edge("p", "c")
+        border.add_edge("c", "q")
+        border.forget("c")
+        assert len(border) == 0
+        assert not border.is_border("p", "c")
+        assert not border.is_border("c", "q")
+
+    def test_edges_sorted(self):
+        border = BorderIndex(CostCounters())
+        border.add_edge("b", "z")
+        border.add_edge("a", "y")
+        assert border.edges() == [("a", "y"), ("b", "z")]
+
+
+class TestIntrospection:
+    def test_describe_mentions_every_shard(self):
+        store = ShardedStore(2)
+        store.add_set("root", "root")
+        text = store.describe()
+        assert "2 shards" in text
+        assert "border" in text
+
+    def test_combined_counters_fold_shard_charges(self):
+        store = ShardedStore(4)
+        store.add_set("root", "root")
+        store.add_atomic("x", "a", 1)
+        store.insert_edge("root", "x")
+        store.get("x")
+        combined = store.combined_counters()
+        assert combined.object_reads >= store.counters.object_reads
+        assert combined.object_writes >= 2
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedStore(0)

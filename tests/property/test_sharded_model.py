@@ -1,0 +1,251 @@
+"""Stateful model: ``ShardedStore(n)`` ≡ unsharded ``ObjectStore``.
+
+One hypothesis state machine drives random interleavings of object
+creation, edge inserts/deletes, value modifies, and path queries
+against a sharded store and an unsharded oracle *simultaneously* —
+including invalid operations, which must fail identically on both
+sides.  After every step the two stores must agree byte-for-byte
+(paper-syntax dump), their update logs must match entry-for-entry, a
+maintained view over each must have equal extents, and path queries
+must return equal answers.
+
+The machine keeps the base a tree (single parent, no cycles) so the
+simple maintainer's preconditions hold; deletes may detach subtrees
+and later inserts may re-attach them, which is exactly the
+cross-shard re-parenting the border index must survive.
+
+Runs are pinned: ``derandomize=True`` makes hypothesis replay the same
+example sequence every time, so CI failures reproduce locally without
+a seed database.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from tests.property.support import common_settings
+
+from repro.errors import ReproError
+from repro.gsdb import ObjectStore, ParentIndex, ShardedParentIndex, ShardedStore
+from repro.gsdb.serialization import dump_store
+from repro.gsdb.updates import Delete, Insert, Modify
+from repro.paths.automaton import compile_expression
+from repro.paths.expression import PathExpression
+from repro.views import (
+    MaterializedView,
+    SimpleViewMaintainer,
+    ViewDefinition,
+    populate_view,
+)
+
+LABELS = ("a", "b", "c")
+DEFINITION = "define mview V as: SELECT root.a X WHERE X.b > 50"
+QUERY_PATHS = ("a", "b", "a.b", "a.*", "*.c", "a+")
+
+COMMON = common_settings(20)
+
+
+class ShardedEquivalenceMachine(RuleBasedStateMachine):
+    """Drive a sharded store and an unsharded oracle in lock-step."""
+
+    shards = 2  # overridden per concrete machine below
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.oracle = ObjectStore()
+        self.sharded = ShardedStore(self.shards)
+        for store in (self.oracle, self.sharded):
+            store.add_set("root", "root")
+        self.views = []
+        for store, index_cls in (
+            (self.oracle, ParentIndex),
+            (self.sharded, ShardedParentIndex),
+        ):
+            definition = ViewDefinition.parse(DEFINITION)
+            view = MaterializedView(definition, store, ObjectStore())
+            populate_view(view)
+            SimpleViewMaintainer(
+                view, parent_index=index_cls(store), subscribe=True
+            )
+            self.views.append(view)
+        self.sets = ["root"]
+        self.atoms: list[str] = []
+        self.fresh = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _both(self, action):
+        """Run *action* on both stores; outcomes must be identical."""
+        outcomes = []
+        for store in (self.oracle, self.sharded):
+            try:
+                action(store)
+                outcomes.append(None)
+            except ReproError as error:
+                outcomes.append((type(error), str(error)))
+        assert outcomes[0] == outcomes[1], outcomes
+
+    def _reachable(self, start: str) -> set[str]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            obj = self.oracle.peek(stack.pop())
+            if obj is None or not obj.is_set:
+                continue
+            for child in obj.children():
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return seen
+
+    def _has_parent(self, oid: str) -> bool:
+        return any(
+            obj.is_set and oid in obj.children()
+            for obj in (self.oracle.peek(o) for o in self.oracle.oids())
+            if obj is not None
+        )
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(label=st.sampled_from(LABELS), value=st.integers(0, 100))
+    def new_atom(self, label, value):
+        self.fresh += 1
+        oid = f"x{self.fresh}"
+        self._both(lambda s: s.add_atomic(oid, label, value))
+        self.atoms.append(oid)
+
+    @rule(label=st.sampled_from(LABELS))
+    def new_set(self, label):
+        self.fresh += 1
+        oid = f"g{self.fresh}"
+        self._both(lambda s: s.add_set(oid, label))
+        self.sets.append(oid)
+
+    @rule(data=st.data())
+    def insert_edge(self, data):
+        parent = data.draw(st.sampled_from(self.sets), label="parent")
+        child = data.draw(
+            st.sampled_from(self.sets + self.atoms), label="child"
+        )
+        if (
+            child == "root"
+            or self._has_parent(child)
+            or parent in self._reachable(child)
+        ):
+            return  # keep the base a single-parent tree, acyclically
+        self._both(lambda s: s.apply(Insert(parent, child)))
+
+    @rule(data=st.data())
+    def delete_edge(self, data):
+        edges = [
+            (parent, child)
+            for parent in self.sets
+            if (obj := self.oracle.peek(parent)) is not None
+            for child in obj.sorted_children()
+        ]
+        if not edges:
+            return
+        parent, child = data.draw(st.sampled_from(edges), label="edge")
+        self._both(lambda s: s.apply(Delete(parent, child)))
+
+    @rule(data=st.data(), value=st.integers(0, 100))
+    def modify(self, data, value):
+        if not self.atoms:
+            return
+        oid = data.draw(st.sampled_from(self.atoms), label="oid")
+        old = self.oracle.get(oid).atomic_value()
+        self._both(lambda s: s.apply(Modify(oid, old, value)))
+
+    @rule(parent=st.sampled_from(("root", "nowhere")))
+    def invalid_insert(self, parent):
+        """Invalid updates must raise identically on both sides."""
+        self._both(lambda s: s.apply(Insert(parent, "missing-child")))
+
+    @rule(data=st.data())
+    def invalid_modify(self, data):
+        if not self.atoms:
+            return
+        oid = data.draw(st.sampled_from(self.atoms), label="oid")
+        actual = self.oracle.get(oid).atomic_value()
+        stale = -1 if actual != -1 else -2
+        self._both(lambda s: s.apply(Modify(oid, stale, 0)))
+
+    @rule(path=st.sampled_from(QUERY_PATHS))
+    def query(self, path):
+        nfa = compile_expression(PathExpression.parse(path))
+        assert nfa.evaluate(self.oracle, "root") == nfa.evaluate(
+            self.sharded, "root"
+        )
+
+    # -- the oracle ----------------------------------------------------------
+
+    @invariant()
+    def stores_byte_equal(self):
+        assert dump_store(self.oracle) == dump_store(self.sharded)
+
+    @invariant()
+    def logs_equal(self):
+        assert self.oracle.log.entries == self.sharded.log.entries
+
+    @invariant()
+    def view_extents_equal(self):
+        assert self.views[0].members() == self.views[1].members()
+
+    @invariant()
+    def placement_consistent(self):
+        """Every OID lives on exactly the shard the hash names."""
+        store = self.sharded
+        for shard, sub in enumerate(store.shard_stores()):
+            for oid in sub.oids():
+                assert store.shard_of(oid) == shard
+
+
+class ShardedEquivalence1(ShardedEquivalenceMachine):
+    shards = 1
+
+
+class ShardedEquivalence2(ShardedEquivalenceMachine):
+    shards = 2
+
+
+class ShardedEquivalence4(ShardedEquivalenceMachine):
+    shards = 4
+
+
+_SETTINGS = settings(
+    **COMMON, stateful_step_count=30, derandomize=True
+)
+
+TestSharded1 = ShardedEquivalence1.TestCase
+TestSharded1.settings = _SETTINGS
+TestSharded2 = ShardedEquivalence2.TestCase
+TestSharded2.settings = _SETTINGS
+TestSharded4 = ShardedEquivalence4.TestCase
+TestSharded4.settings = _SETTINGS
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_border_survives_detach_and_reattach(shards):
+    """A directed replay of the model's hardest path: detach a subtree
+    whose internal edges cross shards, then re-attach it elsewhere."""
+    oracle = ObjectStore()
+    sharded = ShardedStore(shards)
+    for store in (oracle, sharded):
+        store.add_set("root", "root")
+        store.add_set("grp", "a")
+        store.add_atomic("leaf", "b", 70)
+        store.apply(Insert("root", "grp"))
+        store.apply(Insert("grp", "leaf"))
+        store.apply(Delete("root", "grp"))
+        store.add_set("other", "c")
+        store.apply(Insert("root", "other"))
+        store.apply(Insert("other", "grp"))
+    assert dump_store(oracle) == dump_store(sharded)
+    assert oracle.log.entries == sharded.log.entries

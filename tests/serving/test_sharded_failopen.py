@@ -1,0 +1,115 @@
+"""Pinned-counter tests for cross-shard fail-open invalidation.
+
+When the read path serves a sharded store, an update's reachability
+screen depends on an upward chain that may *stop at a shard border*
+(no index, or a per-shard index that does not stitch borders).  The
+:class:`~repro.serving.invalidation.Invalidator` must then fail open —
+invalidate every candidate — and attribute the event to the dedicated
+``failopen_cross_shard`` counter (ISSUE satellite 4), never serve a
+stale answer, and never charge the counter when a border-stitched
+:class:`~repro.gsdb.sharding.ShardedParentIndex` resolves the chain.
+"""
+
+from repro.gsdb import ShardedParentIndex, ShardedStore, shard_of
+from repro.gsdb.database import DatabaseRegistry
+from repro.query.evaluator import QueryEvaluator
+from repro.serving import QueryServer
+
+
+def cross_shard_tree(shards: int = 4):
+    """root -> grp -> val, with grp/val chosen to cross shards."""
+    store = ShardedStore(shards)
+    store.add_set("root", "root")
+    grp = next(
+        f"grp{i}"
+        for i in range(1000)
+        if shard_of(f"grp{i}", shards) != shard_of("root", shards)
+    )
+    store.add_set(grp, "emp")
+    val = next(
+        f"val{i}"
+        for i in range(1000)
+        if shard_of(f"val{i}", shards) != shard_of(grp, shards)
+    )
+    store.add_atomic(val, "age", 30)
+    store.insert_edge("root", grp)
+    store.insert_edge(grp, val)
+    assert len(store.border) == 2
+    return store, grp, val
+
+
+def build_server(store, parent_index):
+    registry = DatabaseRegistry(store)
+    server = QueryServer(registry, parent_index=parent_index, cache_size=8)
+    assert server.border_index is store.border  # auto-detected
+    return server
+
+
+QUERY = "SELECT root.emp X WHERE X.age > 20"
+
+
+class TestFailOpen:
+    def test_no_index_fails_open_with_pinned_counter(self):
+        store, grp, val = cross_shard_tree()
+        server = build_server(store, parent_index=None)
+        assert server.evaluate_oids(QUERY) == {grp}
+        assert store.counters.failopen_cross_shard == 0
+        # Three relevant updates, no chain to screen with: each fails
+        # open exactly once — the counter pins 1:1 with updates (the
+        # entry is re-cached between updates; a fail-open against an
+        # already-empty cache screens nothing and charges nothing).
+        store.modify_value(val, 10)
+        assert store.counters.failopen_cross_shard == 1
+        server.evaluate_oids(QUERY)
+        store.modify_value(val, 40)
+        assert store.counters.failopen_cross_shard == 2
+        server.evaluate_oids(QUERY)
+        store.delete_edge(grp, val)
+        assert store.counters.failopen_cross_shard == 3
+        # Fail-open means fresh answers, never stale ones.
+        assert server.evaluate_oids(QUERY) == set()
+
+    def test_unstitched_index_fails_open(self):
+        store, grp, val = cross_shard_tree()
+        index = ShardedParentIndex(store, stitch_borders=False)
+        server = build_server(store, index)
+        assert server.evaluate_oids(QUERY) == {grp}
+        store.modify_value(val, 10)
+        # val's chain dies at a border node with cross-shard parents.
+        assert store.counters.failopen_cross_shard == 1
+        assert server.evaluate_oids(QUERY) == set()
+
+    def test_stitched_index_stays_precise(self):
+        store, grp, val = cross_shard_tree()
+        index = ShardedParentIndex(store)
+        server = build_server(store, index)
+        assert server.evaluate_oids(QUERY) == {grp}
+        store.modify_value(val, 10)
+        # The stitched chain resolves to root: precise invalidation,
+        # no fail-open attribution.
+        assert store.counters.failopen_cross_shard == 0
+        assert server.evaluate_oids(QUERY) == set()
+
+    def test_irrelevant_update_never_trips_the_counter(self):
+        store, grp, val = cross_shard_tree()
+        server = build_server(store, parent_index=None)
+        assert server.evaluate_oids(QUERY) == {grp}
+        # A condition-free entry has no witness candidates for a
+        # modify of an unrelated atom: the border is never consulted.
+        store.add_atomic("lone", "other", 1)
+        store.modify_value("lone", 2)
+        assert store.counters.failopen_cross_shard == 0
+
+    def test_answers_match_uncached_evaluator_throughout(self):
+        store, grp, val = cross_shard_tree()
+        server = build_server(store, parent_index=None)
+        fresh = QueryEvaluator(DatabaseRegistry(store))
+        for change in (
+            lambda: store.modify_value(val, 55),
+            lambda: store.delete_edge(grp, val),
+            lambda: store.insert_edge(grp, val),
+        ):
+            assert server.evaluate_oids(QUERY) == fresh.evaluate_oids(QUERY)
+            change()
+        assert server.evaluate_oids(QUERY) == fresh.evaluate_oids(QUERY)
+        assert store.counters.failopen_cross_shard > 0

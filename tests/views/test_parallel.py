@@ -1,0 +1,158 @@
+"""Tests for :mod:`repro.views.parallel`.
+
+The headline contract (ISSUE satellite 3): the E14 multi-view workload
+driven through a :class:`ParallelDispatcher` produces *identical*
+final view extents and update-log order with 1 worker and with 8 —
+thread count changes scheduling on the pool, never any result.  The
+rest pins the mechanics that make that true: serial fallback, per-
+shard charging, verdict equality with the serial dispatcher, and the
+critical-path cost model.
+"""
+
+import pytest
+
+from repro.gsdb import (
+    ObjectStore,
+    ParentIndex,
+    ShardedParentIndex,
+    ShardedStore,
+)
+from repro.views import (
+    MaintenanceDispatcher,
+    ParallelDispatcher,
+    critical_path_cost,
+)
+from repro.workloads import multiview as mv
+
+NVIEWS = 8
+SMALL = dict(branches=8, items=4, updates=64)
+
+
+def run_workload(store, index, dispatcher, *, batch_size=16):
+    views = mv.build_views(
+        store, NVIEWS, parent_index=index, dispatcher=dispatcher
+    )
+    mv.run_stream(
+        store,
+        branches=SMALL["branches"],
+        items=SMALL["items"],
+        updates=SMALL["updates"],
+        dispatcher=dispatcher,
+        batch_size=batch_size,
+    )
+    failures = mv.audit_views(views)
+    assert not failures, failures
+    return mv.view_extents(views), list(store.log.entries)
+
+
+def sharded_run(shards: int, workers: int, *, batch_size=16):
+    store = ShardedStore(shards)
+    mv.build_store(store, branches=SMALL["branches"], items=SMALL["items"])
+    index = ShardedParentIndex(store)
+    dispatcher = ParallelDispatcher(
+        store, parent_index=index, subscribe=True, workers=workers
+    )
+    extents, log = run_workload(
+        store, index, dispatcher, batch_size=batch_size
+    )
+    return extents, log, store, dispatcher
+
+
+class TestDeterminism:
+    def test_one_vs_eight_workers(self):
+        """The satellite's pinned claim, on the E14 workload shape."""
+        one = sharded_run(4, workers=1)
+        eight = sharded_run(4, workers=8)
+        assert one[0] == eight[0]  # final view extents
+        assert one[1] == eight[1]  # update-log order
+        # Both actually took the fan-out path.
+        assert one[3].parallel_batches == eight[3].parallel_batches > 0
+
+    def test_matches_serial_dispatcher(self):
+        store = mv.build_store(
+            branches=SMALL["branches"], items=SMALL["items"]
+        )
+        index = ParentIndex(store)
+        serial = MaintenanceDispatcher(
+            store, parent_index=index, subscribe=True
+        )
+        reference = run_workload(store, index, serial)
+        for shards in (1, 2, 4):
+            extents, log, _, _ = sharded_run(shards, workers=4)
+            assert extents == reference[0], shards
+            assert log == reference[1], shards
+
+    def test_worker_invariant_shard_counters(self):
+        """Per-shard counter deltas are part of the determinism
+        contract: charges depend on the shard partition, not the pool."""
+        one = sharded_run(4, workers=1)[2]
+        eight = sharded_run(4, workers=8)[2]
+        for a, b in zip(one.shard_stores(), eight.shard_stores()):
+            assert a.counters.as_dict() == b.counters.as_dict()
+        assert one.counters.as_dict() == eight.counters.as_dict()
+
+
+class TestFallback:
+    def test_plain_store_degrades_to_serial(self):
+        store = mv.build_store(
+            branches=SMALL["branches"], items=SMALL["items"]
+        )
+        index = ParentIndex(store)
+        dispatcher = ParallelDispatcher(
+            store, parent_index=index, subscribe=True, workers=8
+        )
+        extents, _ = run_workload(store, index, dispatcher)
+        assert dispatcher.parallel_batches == 0  # shard_count is 1
+        assert extents  # and maintenance still happened
+
+    def test_single_update_batches_stay_serial(self):
+        store = ShardedStore(4)
+        mv.build_store(store, branches=4, items=2)
+        index = ShardedParentIndex(store)
+        dispatcher = ParallelDispatcher(
+            store, parent_index=index, subscribe=True, workers=4
+        )
+        mv.build_views(store, 2, parent_index=index, dispatcher=dispatcher)
+        with dispatcher.batch():
+            store.modify_value("val0_0", 99)
+        assert dispatcher.parallel_batches == 0  # nothing to fan out
+
+    def test_per_update_dispatch_stays_serial(self):
+        extents, log, store, dispatcher = sharded_run(
+            4, workers=4, batch_size=None
+        )
+        assert dispatcher.parallel_batches == 0
+        # ... and still agrees with the batched parallel run's extents.
+        assert extents == sharded_run(4, workers=4)[0]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ParallelDispatcher(ShardedStore(2), workers=0)
+
+
+class TestCostModel:
+    def test_screening_charges_land_on_owner_shards(self):
+        _, _, store, dispatcher = sharded_run(4, workers=4)
+        assert dispatcher.parallel_batches > 0
+        busy = [
+            shard.counters.total_base_accesses()
+            for shard in store.shard_stores()
+        ]
+        assert all(cost > 0 for cost in busy)  # work is spread
+        assert critical_path_cost(store) == max(busy)
+
+    def test_screening_counter_matches_serial(self):
+        """updates_screened (a global counter) is schedule-invariant."""
+        store_p = sharded_run(4, workers=8)[2]
+        store_s = mv.build_store(
+            branches=SMALL["branches"], items=SMALL["items"]
+        )
+        index = ParentIndex(store_s)
+        serial = MaintenanceDispatcher(
+            store_s, parent_index=index, subscribe=True
+        )
+        run_workload(store_s, index, serial)
+        assert (
+            store_p.counters.updates_screened
+            == store_s.counters.updates_screened
+        )
