@@ -14,12 +14,34 @@ Run everything with::
 from __future__ import annotations
 
 import json
+import os
+import platform
+import sys
 from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.instrumentation import render_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def environment_stamp() -> dict[str, str]:
+    """The run environment recorded into every results JSON.
+
+    Deterministic columns must reproduce across machines, but wall
+    times never do — the stamp lets a reader (or CI diff) tell which
+    is which.  ``PYTHONHASHSEED`` matters specifically: results tables
+    are asserted byte-identical across hash seeds, and the stamp
+    records which seed produced a committed artifact.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "pythonhashseed": os.environ.get("PYTHONHASHSEED", "random"),
+        "argv0": Path(sys.argv[0]).name,
+    }
 
 
 def _json_value(value: object) -> object:
@@ -44,10 +66,13 @@ def emit(
     ``results/<stem>.json`` with the schema::
 
         {"experiment": "e3", "title": ..., "config": {...},
-         "headers": [...], "rows": [[...], ...], "note": ...}
+         "environment": {...}, "headers": [...], "rows": [[...], ...],
+         "note": ...}
 
     *config* records experiment parameters (sweep bounds, seeds) that
-    the table itself does not carry.
+    the table itself does not carry; ``environment`` stamps the
+    interpreter and platform the artifact was produced on
+    (:func:`environment_stamp`).
     """
     text = render_table(title, headers, rows, note=note)
     print()
@@ -62,6 +87,7 @@ def emit(
             key: _json_value(value)
             for key, value in sorted((config or {}).items())
         },
+        "environment": environment_stamp(),
         "headers": list(headers),
         "rows": [[_json_value(value) for value in row] for row in rows],
         "note": note,

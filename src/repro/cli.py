@@ -31,6 +31,7 @@ Commands (``help`` prints this at the prompt):
 ``check [NAME]``         audit one view (or all) against recomputation
 ``counters``             show cost counters
 ``shards``               show shard layout (sharded stores only)
+``columnar [on|off|status]``  enable/disable the columnar snapshot
 ``chaos [SEED [STEPS [RATE [LEVEL]]]]``  run a fault-injection round
 ``serve SELECT ...``     run a query through the cached serving layer
 ``bench-serve [STEPS [RATIO [CACHE [SEED]]]]``  mixed read/update round
@@ -97,6 +98,7 @@ class Shell:
             "check": self.cmd_check,
             "counters": self.cmd_counters,
             "shards": self.cmd_shards,
+            "columnar": self.cmd_columnar,
             "chaos": self.cmd_chaos,
             "bench-serve": self.cmd_bench_serve,
             "help": self.cmd_help,
@@ -308,6 +310,34 @@ class Shell:
             return
         self._print(describe())
 
+    def cmd_columnar(self, args: list[str]) -> None:
+        """columnar [on|off|status] — manage the store's epoch-versioned
+        columnar snapshot (CSR adjacency + bitset kernels).  ``on``
+        enables (attaching a snapshot if none exists), ``off`` disables
+        (readers fall back to the interpreted path), no argument or
+        ``status`` reports the snapshot lifecycle."""
+        action = args[0] if args else "status"
+        store = self.catalog.store
+        manager = getattr(store, "columnar", None)
+        if action == "on":
+            manager = self.catalog.enable_columnar()
+            manager.enable()
+            self._print(f"columnar snapshot on: {manager.describe()}")
+        elif action == "off":
+            if manager is None:
+                self._print("columnar snapshot was never enabled")
+                return
+            manager.disable()
+            self._print("columnar snapshot off (interpreted fallback)")
+        elif action == "status":
+            if manager is None:
+                self._print("columnar snapshot not enabled (try 'columnar on')")
+            else:
+                state = "on" if manager.enabled else "off"
+                self._print(f"columnar snapshot {state}: {manager.describe()}")
+        else:
+            self._print("usage: columnar [on|off|status]")
+
     def _serve_statement(self, text: str) -> None:
         """serve SELECT ... — query through the catalog's cached read
         path; reports whether the answer came from the cache."""
@@ -377,6 +407,37 @@ class Shell:
                 self._print(line.replace("``", ""))
 
 
+def _profile_main(args: list[str]) -> int:
+    """``repro profile [DEPTH [FANOUT [UPDATES [SEED]]]]``.
+
+    Runs the canned workload (:mod:`repro.workloads.profiling`) twice —
+    interpreted, then columnar — and prints the per-phase wall-time and
+    counter breakdown side by side, including the snapshot's
+    refresh/rows-scanned/fallback stats.
+    """
+    from repro.workloads.profiling import run_profile
+
+    try:
+        depth = int(args[0]) if len(args) > 0 else 4
+        fanout = int(args[1]) if len(args) > 1 else 5
+        updates = int(args[2]) if len(args) > 2 else 40
+        seed = int(args[3]) if len(args) > 3 else 7
+    except ValueError:
+        print("usage: profile [DEPTH [FANOUT [UPDATES [SEED]]]]", file=sys.stderr)
+        return 2
+    for columnar in (False, True):
+        report = run_profile(
+            depth=depth,
+            fanout=fanout,
+            updates=updates,
+            seed=seed,
+            columnar=columnar,
+        )
+        for line in report.describe_lines():
+            print(line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: ``python -m repro [--shards N] [script.gsdbsh | data.gsdb]``.
 
@@ -385,8 +446,12 @@ def main(argv: list[str] | None = None) -> int:
     (N > 1) backs the session with an OID-hash-partitioned
     :class:`~repro.gsdb.sharding.ShardedStore` and parallel view
     maintenance — the ``shards`` command then shows the layout.
+    ``profile`` as the first argument runs the canned profiling
+    workload instead of a session (see :func:`_profile_main`).
     """
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "profile":
+        return _profile_main(args[1:])
     shards: int | None = None
     remaining: list[str] = []
     index = 0

@@ -12,6 +12,12 @@ The main entry points are:
   ``eval()``.
 """
 
+from repro.gsdb.columnar import (
+    ColumnarSnapshot,
+    ShardedColumnarSnapshot,
+    ShardedSnapshotView,
+    enable_columnar,
+)
 from repro.gsdb.gc import collect_garbage, reachable_from
 from repro.gsdb.database import (
     DatabaseRegistry,
@@ -47,6 +53,7 @@ from repro.gsdb.validation import Shape, validate_store
 
 __all__ = [
     "BorderIndex",
+    "ColumnarSnapshot",
     "DatabaseRegistry",
     "Delete",
     "Insert",
@@ -57,7 +64,9 @@ __all__ = [
     "OidGenerator",
     "ParentIndex",
     "Shape",
+    "ShardedColumnarSnapshot",
     "ShardedParentIndex",
+    "ShardedSnapshotView",
     "ShardedStore",
     "Update",
     "UpdateLog",
@@ -66,6 +75,7 @@ __all__ = [
     "delegate_oid",
     "difference",
     "dump_object",
+    "enable_columnar",
     "dump_store",
     "dump_subtree",
     "infer_atomic_type",

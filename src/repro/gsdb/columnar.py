@@ -1,0 +1,689 @@
+"""Epoch-versioned columnar snapshots: CSR adjacency over dense rows.
+
+The interpreted read path walks Python dict-of-set structures one
+OID-string at a time.  MV4PG's materialized property-graph views (and
+Szárnyas's relational IVM encodings) get their throughput from compact
+adjacency layouts instead; this module is that layout for the repro's
+GSDB, built with the stdlib only:
+
+* a dense ``OID ↔ int`` row mapping (``oid_of`` list / ``row_of`` dict,
+  rows assigned in sorted-OID order at build time),
+* per-label CSR adjacency — for each label, an ``array('I')`` offsets
+  column of length ``rows+1`` and an ``array('I')`` targets column, so
+  "children of row r carrying label l" is one C-level slice,
+* a combined all-labels CSR for label-blind sweeps (GC mark), and
+* a ``bytearray`` alive bitset tombstoning removed rows.
+
+Snapshots are **epoch-versioned and refreshed by delta**.  A snapshot
+remembers the store's update-log position it reflects; ``refresh()``
+replays only ``log.since(position)``.  Creations and removals bypass
+the update log (they are not basic updates, paper Section 4.1), so the
+snapshot also subscribes to the store's creation/removal listeners and
+stamps each such event with the log position at which it happened;
+delta replay merges the two streams in log order.  When the pending
+delta (or the accumulated patch overlay) grows past
+``rebuild_threshold`` × rows, the snapshot rebuilds from scratch
+instead — delta cost is proportional to the delta, rebuild cost to the
+graph, and the threshold picks whichever is cheaper.
+
+Soundness (the staleness guard): every reader goes through
+:meth:`current`, which either brings the snapshot fully up to date
+(one atomic synchronous refresh; the store cannot change mid-refresh
+in this single-threaded design) or returns ``None`` — and a ``None``
+makes the caller fall back to the interpreted path, charging
+``kernel_fallbacks``.  There is no code path that serves rows from a
+snapshot whose ``log_position`` trails the store's log or that has
+unapplied creation/removal events.  Re-creating a previously removed
+OID is the one event delta replay refuses to patch (old CSR edges
+reference the tombstoned row); it flags a full rebuild instead.
+
+Sharding: :class:`ShardedColumnarSnapshot` keeps one per-shard snapshot
+(each seeing only its shard's objects and intra-shard edges; edges to
+other shards are *not* pended) and stitches them into a global-row
+:class:`ShardedSnapshotView` using the store's
+:class:`~repro.gsdb.sharding.BorderIndex` for cross-shard edges.  Any
+border mutation bumps at least one shard's event/log stream, so the
+tuple of shard epochs fingerprints the stitched view.  With
+``stitch_borders=False`` the facade refuses to serve
+(``current() is None``) and every reader degrades fail-open to the
+interpreted path, exactly as the unstitched parent index does.
+
+Work is charged in the kernel's own currency: ``snapshot_refreshes``
+per epoch advanced, ``snapshot_rows_scanned`` per row touched by
+builds, deltas, and :meth:`gather` sweeps.  Columnar rows are copies,
+not base objects, so none of it lands in ``total_base_accesses`` —
+experiment E18 reports the two currencies side by side.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Iterable, Sequence
+
+from repro.gsdb.object import Object
+from repro.gsdb.store import ObjectStore
+from repro.gsdb.updates import Delete, Insert, Modify, Update
+
+#: Queued creation/removal event: (kind, oid, label, is_set, children,
+#: log position at event time).  Removals carry no label/children.
+_Event = tuple[str, str, str, bool, tuple[str, ...], int]
+
+
+class ColumnarSnapshot:
+    """A single store's columnar image, refreshed by delta.
+
+    Implements the *snapshot view protocol* consumed by
+    :mod:`repro.paths.kernel`: ``nrows``, :meth:`row`, :meth:`oid`,
+    :meth:`label_names`, :meth:`gather`, plus ``counters``.
+
+    Args:
+        store: the :class:`~repro.gsdb.store.ObjectStore` to image.
+        rebuild_threshold: rebuild from scratch when the pending delta
+            (or the patch overlay + tombstones) exceeds this fraction
+            of the row count.
+        auto_refresh: when True (default) :meth:`current` refreshes a
+            stale snapshot in place; when False a stale snapshot
+            answers ``current() -> None`` and readers fall back to the
+            interpreted path until :meth:`refresh` is called.
+        external: predicate marking OIDs that live outside this store
+            (another shard); edges to external children are omitted —
+            the sharded facade supplies them from the border index.
+        counters: where snapshot work is charged; defaults to the
+            store's counters.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        *,
+        rebuild_threshold: float = 0.25,
+        auto_refresh: bool = True,
+        external: Callable[[str], bool] | None = None,
+        counters=None,
+    ) -> None:
+        if rebuild_threshold <= 0:
+            raise ValueError("rebuild_threshold must be positive")
+        self._store = store
+        self.rebuild_threshold = rebuild_threshold
+        self.auto_refresh = auto_refresh
+        self._external = external
+        self.counters = counters if counters is not None else store.counters
+        self.enabled = True
+        #: Epoch counter: bumped once per refresh that changed anything.
+        self.epoch = 0
+        self.refreshes = 0
+        self.full_rebuilds = 0
+        self.delta_refreshes = 0
+        # -- columnar state (populated by _rebuild) -----------------------
+        self.oid_of: list[str] = []
+        self.row_of: dict[str, int] = {}
+        self.label_of: list[str] = []
+        self._alive = bytearray()
+        self._dead = 0
+        self._labels: set[str] = set()
+        self._label_csr: dict[str, tuple[array, array]] = {}
+        self._all_csr: tuple[array, array] | None = None
+        self._csr_rows = 0
+        #: row -> {label -> set of child rows}: full adjacency override
+        #: for rows touched since the last CSR build.
+        self._patched: dict[int, dict[str, set[int]]] = {}
+        #: rowless child OID -> parent rows whose value references it.
+        self._pending: dict[str, set[int]] = {}
+        # -- staleness bookkeeping ----------------------------------------
+        self._built = False
+        self._needs_rebuild = False
+        self._log_pos = 0
+        self._events: list[_Event] = []
+        store.subscribe_creations(self._on_creation)
+        store.subscribe_removals(self._on_removal)
+
+    # -- event capture (creations/removals bypass the update log) ---------
+
+    def _on_creation(self, obj: Object) -> None:
+        if not self._built:
+            return
+        children = tuple(sorted(obj.children())) if obj.is_set else ()
+        self._events.append(
+            ("c", obj.oid, obj.label, obj.is_set, children, len(self._store.log))
+        )
+
+    def _on_removal(self, obj: Object) -> None:
+        if not self._built:
+            return
+        self._events.append(("r", obj.oid, "", False, (), len(self._store.log)))
+
+    # -- freshness ---------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return len(self.oid_of)
+
+    def is_fresh(self) -> bool:
+        """Does the snapshot reflect the store's exact current state?"""
+        return (
+            self._built
+            and not self._needs_rebuild
+            and not self._events
+            and self._log_pos == len(self._store.log)
+        )
+
+    def current(self) -> "ColumnarSnapshot | None":
+        """The snapshot to read from, or None to force a fallback.
+
+        Never returns a stale snapshot: either the refresh runs here
+        (``auto_refresh``) or staleness yields ``None``.
+        """
+        if not self.enabled:
+            return None
+        if self.is_fresh():
+            return self
+        if not self.auto_refresh:
+            return None
+        self.refresh()
+        return self
+
+    def disable(self) -> None:
+        """Stop serving; every reader falls back until re-enabled."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    # -- refresh -----------------------------------------------------------
+
+    def refresh(self) -> "ColumnarSnapshot":
+        """Bring the snapshot up to date (delta replay or full rebuild)."""
+        if self.is_fresh():
+            return self
+        delta = (len(self._store.log) - self._log_pos) + len(self._events)
+        threshold = self.rebuild_threshold * max(1, self.nrows)
+        if self._needs_rebuild or not self._built or delta > threshold:
+            self._rebuild()
+            self.full_rebuilds += 1
+        else:
+            self._apply_delta()
+            self.delta_refreshes += 1
+            # Compact when the overlay outgrows the threshold: gather
+            # stays slice-speed only while patches/tombstones are rare.
+            if len(self._patched) + self._dead > threshold:
+                self._rebuild()
+                self.full_rebuilds += 1
+        self.epoch += 1
+        self.refreshes += 1
+        self.counters.snapshot_refreshes += 1
+        return self
+
+    def _is_external(self, oid: str) -> bool:
+        return self._external is not None and self._external(oid)
+
+    def _rebuild(self) -> None:
+        store = self._store
+        peek = store.peek
+        oids = list(store.oids())
+        nrows = len(oids)
+        self.oid_of = oids
+        self.row_of = {oid: row for row, oid in enumerate(oids)}
+        row_of = self.row_of
+        label_of: list[str] = []
+        objs: list[Object] = []
+        for oid in oids:
+            obj = peek(oid)
+            objs.append(obj)
+            label_of.append(obj.label)
+        self.label_of = label_of
+        self._labels = set(label_of)
+        self._alive = bytearray(b"\xff" * ((nrows + 7) >> 3))
+        self._dead = 0
+        self._patched = {}
+        self._pending = {}
+        # CSR build: count pass, prefix sums, fill pass — all array('I').
+        zeros = bytes(4 * (nrows + 1))
+        all_counts = array("I", zeros)
+        label_counts: dict[str, array] = {}
+        edges = 0
+        pending = self._pending
+        for row, obj in enumerate(objs):
+            if not obj.is_set:
+                continue
+            for child in sorted(obj.children()):
+                crow = row_of.get(child)
+                if crow is None:
+                    if not self._is_external(child):
+                        pending.setdefault(child, set()).add(row)
+                    continue
+                all_counts[row + 1] += 1
+                counts = label_counts.get(label_of[crow])
+                if counts is None:
+                    counts = label_counts[label_of[crow]] = array("I", zeros)
+                counts[row + 1] += 1
+                edges += 1
+        for counts in label_counts.values():
+            total = 0
+            for i in range(1, nrows + 1):
+                total += counts[i]
+                counts[i] = total
+        total = 0
+        for i in range(1, nrows + 1):
+            total += all_counts[i]
+            all_counts[i] = total
+        all_targets = array("I", bytes(4 * edges))
+        label_targets = {
+            label: array("I", bytes(4 * counts[nrows]))
+            for label, counts in label_counts.items()
+        }
+        all_cursor = array("I", all_counts)
+        label_cursor = {
+            label: array("I", counts) for label, counts in label_counts.items()
+        }
+        for row, obj in enumerate(objs):
+            if not obj.is_set:
+                continue
+            for child in sorted(obj.children()):
+                crow = row_of.get(child)
+                if crow is None:
+                    continue
+                pos = all_cursor[row]
+                all_targets[pos] = crow
+                all_cursor[row] = pos + 1
+                cursor = label_cursor[label_of[crow]]
+                pos = cursor[row]
+                label_targets[label_of[crow]][pos] = crow
+                cursor[row] = pos + 1
+        self._all_csr = (all_counts, all_targets)
+        self._label_csr = {
+            label: (label_counts[label], label_targets[label])
+            for label in label_counts
+        }
+        self._csr_rows = nrows
+        self._built = True
+        self._needs_rebuild = False
+        self._events = []
+        self._log_pos = len(store.log)
+        self.counters.snapshot_rows_scanned += nrows + edges
+
+    # -- delta replay ------------------------------------------------------
+
+    def _apply_delta(self) -> None:
+        updates = self._store.log.since(self._log_pos)
+        events = self._events
+        self._events = []
+        ei = 0
+        pos = self._log_pos
+        for update in updates:
+            while ei < len(events) and events[ei][5] <= pos:
+                self._apply_event(events[ei])
+                ei += 1
+            self._apply_update(update)
+            pos += 1
+        while ei < len(events):
+            self._apply_event(events[ei])
+            ei += 1
+        self._log_pos = len(self._store.log)
+
+    def _adjacency_of(self, row: int) -> dict[str, set[int]]:
+        """Materialize *row*'s adjacency into the patch overlay."""
+        adj = self._patched.get(row)
+        if adj is None:
+            adj = {}
+            if row < self._csr_rows:
+                label_of = self.label_of
+                off, tgt = self._all_csr
+                for crow in tgt[off[row] : off[row + 1]]:
+                    adj.setdefault(label_of[crow], set()).add(crow)
+                self.counters.snapshot_rows_scanned += 1
+            self._patched[row] = adj
+        return adj
+
+    def _apply_update(self, update: Update) -> None:
+        if isinstance(update, Modify):
+            return  # values are not imaged; structure is unchanged
+        prow = self.row_of.get(update.parent)
+        if prow is None:
+            # The parent predates the snapshot's event stream (should be
+            # impossible); refuse to guess and rebuild.
+            self._needs_rebuild = True
+            return
+        crow = self.row_of.get(update.child)
+        self.counters.snapshot_rows_scanned += 1
+        if isinstance(update, Insert):
+            if crow is None:
+                if not self._is_external(update.child):
+                    self._pending.setdefault(update.child, set()).add(prow)
+                return
+            adj = self._adjacency_of(prow)
+            adj.setdefault(self.label_of[crow], set()).add(crow)
+        elif isinstance(update, Delete):
+            if crow is None:
+                if not self._is_external(update.child):
+                    parents = self._pending.get(update.child)
+                    if parents is not None:
+                        parents.discard(prow)
+                        if not parents:
+                            del self._pending[update.child]
+                return
+            adj = self._adjacency_of(prow)
+            children = adj.get(self.label_of[crow])
+            if children is not None:
+                children.discard(crow)
+
+    def _apply_event(self, event: _Event) -> None:
+        kind, oid, label, is_set, children, _pos = event
+        if kind == "c":
+            if oid in self.row_of:
+                # OID re-created after removal: stale CSR edges point at
+                # the tombstoned row — only a rebuild re-links them.
+                self._needs_rebuild = True
+                return
+            row = len(self.oid_of)
+            self.oid_of.append(oid)
+            self.label_of.append(label)
+            self.row_of[oid] = row
+            if (row >> 3) >= len(self._alive):
+                self._alive.append(0)
+            self._alive[row >> 3] |= 1 << (row & 7)
+            self._labels.add(label)
+            self.counters.snapshot_rows_scanned += 1
+            if is_set:
+                adj: dict[str, set[int]] = {}
+                for child in children:
+                    crow = self.row_of.get(child)
+                    if crow is None:
+                        if not self._is_external(child):
+                            self._pending.setdefault(child, set()).add(row)
+                        continue
+                    adj.setdefault(self.label_of[crow], set()).add(crow)
+                self._patched[row] = adj
+            waiting = self._pending.pop(oid, None)
+            if waiting:
+                for prow in waiting:
+                    padj = self._adjacency_of(prow)
+                    padj.setdefault(label, set()).add(row)
+        else:  # removal
+            row = self.row_of.get(oid)
+            if row is None:
+                self._needs_rebuild = True
+                return
+            mask = 1 << (row & 7)
+            if self._alive[row >> 3] & mask:
+                self._alive[row >> 3] &= ~mask & 0xFF
+                self._dead += 1
+            self.counters.snapshot_rows_scanned += 1
+
+    # -- snapshot view protocol -------------------------------------------
+
+    def row(self, oid: str) -> int | None:
+        """The live row of *oid*, or None (absent or tombstoned)."""
+        row = self.row_of.get(oid)
+        if row is None:
+            return None
+        if self._dead and not (self._alive[row >> 3] & (1 << (row & 7))):
+            return None
+        return row
+
+    def oid(self, row: int) -> str:
+        return self.oid_of[row]
+
+    def label_names(self) -> list[str]:
+        """All labels present, sorted (the wildcard step alphabet)."""
+        return sorted(self._labels)
+
+    def gather(self, rows: Sequence[int], label: str | None = None) -> list[int]:
+        """Child rows of *rows* (carrying *label*, or any when None).
+
+        One C-level slice per CSR row, a dict lookup per patched row; a
+        tombstone filter runs only while dead rows exist.  Charges one
+        ``snapshot_rows_scanned`` per input row and per emitted child.
+        """
+        counters = self.counters
+        counters.snapshot_rows_scanned += len(rows)
+        out: list[int] = []
+        patched = self._patched
+        csr = self._all_csr if label is None else self._label_csr.get(label)
+        ncsr = self._csr_rows
+        alive = self._alive
+        dead = self._dead
+        for row in rows:
+            adj = patched.get(row)
+            if adj is not None:
+                if label is None:
+                    children: Iterable[int] = [
+                        crow for bucket in adj.values() for crow in bucket
+                    ]
+                else:
+                    children = adj.get(label, ())
+            elif csr is not None and row < ncsr:
+                off, tgt = csr
+                children = tgt[off[row] : off[row + 1]]
+            else:
+                continue
+            if dead:
+                out.extend(
+                    crow
+                    for crow in children
+                    if alive[crow >> 3] & (1 << (crow & 7))
+                )
+            else:
+                out.extend(children)
+        counters.snapshot_rows_scanned += len(out)
+        return out
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> str:
+        state = "fresh" if self.is_fresh() else "stale"
+        return (
+            f"epoch {self.epoch} ({state}): {self.nrows} rows "
+            f"({self._dead} dead), {len(self._label_csr)} label CSRs, "
+            f"{len(self._patched)} patched rows, "
+            f"{self.full_rebuilds} rebuilds / "
+            f"{self.delta_refreshes} delta refreshes"
+        )
+
+
+class ShardedSnapshotView:
+    """Per-shard snapshots stitched into one global row space.
+
+    Shard *k*'s local row *r* appears as global row ``base[k] + r``;
+    cross-shard edges come from the sharded store's border index,
+    resolved to global rows when the view is stitched (one
+    ``border_probes`` charge per border parent expanded by
+    :meth:`gather`).  The view is immutable — the facade replaces it
+    whenever any shard's epoch moves.
+    """
+
+    def __init__(
+        self, store, snapshots: list[ColumnarSnapshot], counters
+    ) -> None:
+        self._store = store
+        self._snapshots = snapshots
+        self.counters = counters
+        self._base: list[int] = []
+        total = 0
+        for snap in snapshots:
+            self._base.append(total)
+            total += snap.nrows
+        self.nrows = total
+        self.epochs = tuple(snap.epoch for snap in snapshots)
+        labels: set[str] = set()
+        for snap in snapshots:
+            labels.update(snap._labels)
+        self._labels = sorted(labels)
+        #: global parent row -> {label -> [global child rows]}.
+        self._border_children: dict[int, dict[str, list[int]]] = {}
+        for parent, children in store.border._children.items():
+            prow = self.row(parent)
+            if prow is None:
+                continue
+            buckets: dict[str, list[int]] = {}
+            for child in sorted(children):
+                crow = self.row(child)
+                if crow is None:
+                    continue
+                k = store.shard_of(child)
+                label = snapshots[k].label_of[crow - self._base[k]]
+                buckets.setdefault(label, []).append(crow)
+            if buckets:
+                self._border_children[prow] = buckets
+
+    def row(self, oid: str) -> int | None:
+        k = self._store.shard_of(oid)
+        local = self._snapshots[k].row(oid)
+        if local is None:
+            return None
+        return self._base[k] + local
+
+    def oid(self, row: int) -> str:
+        k = self._shard_of_row(row)
+        return self._snapshots[k].oid_of[row - self._base[k]]
+
+    def _shard_of_row(self, row: int) -> int:
+        from bisect import bisect_right
+
+        return bisect_right(self._base, row) - 1
+
+    def label_names(self) -> list[str]:
+        return self._labels
+
+    def gather(self, rows: Sequence[int], label: str | None = None) -> list[int]:
+        base = self._base
+        by_shard: dict[int, list[int]] = {}
+        border = self._border_children
+        out: list[int] = []
+        counters = self.counters
+        for row in rows:
+            k = self._shard_of_row(row)
+            by_shard.setdefault(k, []).append(row - base[k])
+            buckets = border.get(row)
+            if buckets is not None:
+                counters.border_probes += 1
+                if label is None:
+                    for bucket in buckets.values():
+                        out.extend(bucket)
+                else:
+                    out.extend(buckets.get(label, ()))
+        counters.snapshot_rows_scanned += len(out)
+        for k in sorted(by_shard):
+            offset = base[k]
+            local = self._snapshots[k].gather(by_shard[k], label)
+            if offset:
+                out.extend(crow + offset for crow in local)
+            else:
+                out.extend(local)
+        return out
+
+
+class ShardedColumnarSnapshot:
+    """Snapshot facade for a :class:`~repro.gsdb.sharding.ShardedStore`.
+
+    Holds one :class:`ColumnarSnapshot` per shard (intra-shard edges
+    only; each shard's ``external`` predicate excludes foreign OIDs so
+    cross-shard edges never pend) and serves a stitched
+    :class:`ShardedSnapshotView`, cached until any shard's epoch moves.
+    Every border mutation reaches some shard's log or event stream, so
+    the epoch tuple is a sound view fingerprint.
+
+    With ``stitch_borders=False`` the facade never serves
+    (:meth:`current` is always None) and readers degrade fail-open to
+    the interpreted path — the same contract as the unstitched
+    :class:`~repro.gsdb.sharding.ShardedParentIndex`.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        rebuild_threshold: float = 0.25,
+        auto_refresh: bool = True,
+        stitch_borders: bool = True,
+    ) -> None:
+        self._store = store
+        self.stitch_borders = stitch_borders
+        self.auto_refresh = auto_refresh
+        self.enabled = True
+        self.counters = store.counters
+        self._shard_snapshots = [
+            ColumnarSnapshot(
+                shard,
+                rebuild_threshold=rebuild_threshold,
+                auto_refresh=auto_refresh,
+                external=(lambda oid, k=k: store.shard_of(oid) != k),
+                counters=store.counters,
+            )
+            for k, shard in enumerate(store.shard_stores())
+        ]
+        self._view: ShardedSnapshotView | None = None
+
+    @property
+    def epoch(self) -> int:
+        return sum(snap.epoch for snap in self._shard_snapshots)
+
+    def shard_snapshots(self) -> list[ColumnarSnapshot]:
+        return list(self._shard_snapshots)
+
+    def is_fresh(self) -> bool:
+        return all(snap.is_fresh() for snap in self._shard_snapshots)
+
+    def refresh(self) -> None:
+        for snap in self._shard_snapshots:
+            snap.refresh()
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def current(self) -> ShardedSnapshotView | None:
+        if not self.enabled or not self.stitch_borders:
+            return None
+        if not self.auto_refresh and not self.is_fresh():
+            return None
+        self.refresh()
+        view = self._view
+        epochs = tuple(snap.epoch for snap in self._shard_snapshots)
+        if view is None or view.epochs != epochs:
+            view = ShardedSnapshotView(
+                self._store, self._shard_snapshots, self.counters
+            )
+            self._view = view
+        return view
+
+    def describe(self) -> str:
+        state = "fresh" if self.is_fresh() else "stale"
+        rows = sum(snap.nrows for snap in self._shard_snapshots)
+        return (
+            f"epoch {self.epoch} ({state}): {rows} rows across "
+            f"{len(self._shard_snapshots)} shard snapshots; "
+            f"stitch_borders={self.stitch_borders}"
+        )
+
+
+def enable_columnar(
+    store,
+    *,
+    rebuild_threshold: float = 0.25,
+    auto_refresh: bool = True,
+    stitch_borders: bool = True,
+):
+    """Attach a columnar snapshot manager to *store* as ``.columnar``.
+
+    Readers discover it with ``getattr(store, "columnar", None)`` and
+    consult ``manager.current()``; a None answer (disabled, stale with
+    ``auto_refresh=False``, or unstitched shards) sends them down the
+    interpreted path, charging ``kernel_fallbacks``.
+    """
+    if hasattr(store, "shard_stores"):
+        manager = ShardedColumnarSnapshot(
+            store,
+            rebuild_threshold=rebuild_threshold,
+            auto_refresh=auto_refresh,
+            stitch_borders=stitch_borders,
+        )
+    else:
+        manager = ColumnarSnapshot(
+            store,
+            rebuild_threshold=rebuild_threshold,
+            auto_refresh=auto_refresh,
+        )
+    store.columnar = manager
+    return manager

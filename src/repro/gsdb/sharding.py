@@ -209,6 +209,7 @@ class ShardedStore:
         self._shard_seq = [0] * shards
         self._listeners: list[UpdateListener] = []
         self._creation_listeners: list[Callable[[Object], None]] = []
+        self._removal_listeners: list[Callable[[Object], None]] = []
         self._sorted_oids: list[str] | None = None
 
     # -- partitioning ---------------------------------------------------------
@@ -296,6 +297,8 @@ class ShardedStore:
         obj = self._shards[self.shard_of(oid)].remove_object(oid)
         self._sorted_oids = None
         self.border.forget(oid)
+        for listener in self._removal_listeners:
+            listener(obj)
         return obj
 
     # -- lookup ---------------------------------------------------------------
@@ -355,6 +358,9 @@ class ShardedStore:
 
     def subscribe_creations(self, listener: Callable[[Object], None]) -> None:
         self._creation_listeners.append(listener)
+
+    def subscribe_removals(self, listener: Callable[[Object], None]) -> None:
+        self._removal_listeners.append(listener)
 
     # -- basic updates --------------------------------------------------------
 

@@ -65,6 +65,7 @@ class ObjectStore:
         self._sorted_oids: list[str] | None = None
         self._listeners: list[UpdateListener] = []
         self._creation_listeners: list[Callable[[Object], None]] = []
+        self._removal_listeners: list[Callable[[Object], None]] = []
         self.log = UpdateLog()
         self.counters = counters if counters is not None else CostCounters()
         self.check_references = check_references
@@ -125,6 +126,8 @@ class ObjectStore:
             raise UnknownObjectError(oid) from None
         self._sorted_oids = None
         self.counters.object_writes += 1
+        for listener in self._removal_listeners:
+            listener(obj)
         return obj
 
     # -- lookup -------------------------------------------------------------
@@ -205,6 +208,16 @@ class ObjectStore:
     def subscribe_creations(self, listener: Callable[[Object], None]) -> None:
         """Register a callback invoked after each ``add_object``."""
         self._creation_listeners.append(listener)
+
+    def subscribe_removals(self, listener: Callable[[Object], None]) -> None:
+        """Register a callback invoked after each ``remove_object``.
+
+        Creations and removals bypass the update log (they are not basic
+        updates, Section 4.1), so derived structures that track store
+        membership — e.g. the columnar snapshot — need this hook to stay
+        sound; log position alone cannot witness them.
+        """
+        self._removal_listeners.append(listener)
 
     # -- basic updates (paper Section 4.1) -----------------------------------
 

@@ -52,10 +52,23 @@ Counter semantics
                       because the anchor's ancestry could not be
                       resolved past a shard border (the invalidator's
                       reachability screen gave up, experiment E17)
+``snapshot_refreshes`` columnar snapshot epochs brought up to date
+                      (delta-applied or fully rebuilt, experiment E18)
+``snapshot_rows_scanned`` columnar rows touched by snapshot builds,
+                      delta refreshes, and kernel frontier sweeps —
+                      the kernel's analogue of reads + traversals
+``kernel_fallbacks``  evaluations that wanted the columnar kernel but
+                      fell back to the interpreted path because no
+                      fresh snapshot was available (disabled, stale
+                      mid-refresh, or unstitched shard borders)
 
 The cache/screening counters are bookkeeping, not base accesses, so
 they do not contribute to :meth:`CostCounters.total_base_accesses` —
 they exist to *explain* why base accesses went down (experiment E14).
+The snapshot/kernel counters are likewise kept out of the base-access
+total: columnar rows are copies, not base objects, so kernel work is
+reported in its own currency (``snapshot_rows_scanned``) next to the
+interpreted path's reads + traversals (experiment E18).
 The recovery counters (retries, dedups, replays, resyncs) likewise are
 event counts, not base accesses; the base accesses a recovery action
 *causes* (e.g. a resync's recomputation) are charged where they happen
@@ -103,6 +116,9 @@ class CostCounters:
     query_cache_invalidations: int = 0
     border_probes: int = 0
     failopen_cross_shard: int = 0
+    snapshot_refreshes: int = 0
+    snapshot_rows_scanned: int = 0
+    kernel_fallbacks: int = 0
     notes: dict[str, int] = field(default_factory=dict)
 
     # -- arithmetic --------------------------------------------------------

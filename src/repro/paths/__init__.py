@@ -21,6 +21,11 @@ from repro.paths.containment import (
     is_empty_intersection,
     shortest_instance,
 )
+from repro.paths.kernel import (
+    evaluate_on_snapshot,
+    reachable_on_snapshot,
+    reaches_on_snapshot,
+)
 from repro.paths.expression import (
     AnyLabelSegment,
     AnyPathSegment,
@@ -41,8 +46,11 @@ __all__ = [
     "compile_expression",
     "containment_counterexample",
     "evaluate_expression",
+    "evaluate_on_snapshot",
     "intersection_witness",
     "is_contained",
     "is_empty_intersection",
+    "reachable_on_snapshot",
+    "reaches_on_snapshot",
     "shortest_instance",
 ]

@@ -1,0 +1,204 @@
+"""Bitset frontier kernels over columnar snapshots.
+
+The interpreted evaluators (:meth:`~repro.paths.automaton.PathNFA.
+evaluate` / ``evaluate_frontier``) run the NFA product construction
+over Python objects: a dict lookup, a set-membership test, and a
+counter increment per edge.  These kernels run the *same* product
+construction over a :class:`~repro.gsdb.columnar.ColumnarSnapshot`'s
+integer rows: a whole frontier's children arrive as one
+:meth:`~repro.gsdb.columnar.ColumnarSnapshot.gather` (a C-level slice
+per CSR row), and the visited-pair memo of the interpreted path —
+"expand each (object, state-set) pair once" — becomes one ``bytearray``
+bitset per reachable state set, six integer operations per child.
+
+Equivalence contract: for any store and any compiled expression,
+``evaluate_on_snapshot(snapshot, nfa, start)`` returns exactly
+``nfa.evaluate(store, start)`` whenever the snapshot is fresh — the
+property suite ``tests/property/test_kernel_equivalence.py`` pins
+kernel ≡ ``evaluate_frontier`` ≡ ``evaluate`` member sets under random
+graphs, cycles, shared subtrees, wildcard expressions, and mid-stream
+updates.  Notable mirrored corner cases: the start OID is a member
+when the expression accepts the empty path, *even if no such object
+exists*; a non-set (or absent) start has no expansions; dangling child
+references are never admitted.
+
+Cost accounting: kernels charge only ``snapshot_rows_scanned``
+(inside ``gather``) — columnar rows are copies, not base objects, so
+the interpreted path's ``object_reads``/``edge_traversals`` stay
+untouched and benchmark tables compare the two currencies explicitly.
+
+The functions take any object implementing the snapshot view protocol
+(``nrows``/``row``/``oid``/``label_names``/``gather``), so a sharded
+:class:`~repro.gsdb.columnar.ShardedSnapshotView` works unchanged —
+border edges simply show up in ``gather``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.paths.automaton import PathNFA, StateSet
+
+
+def evaluate_on_snapshot(view, nfa: PathNFA, start: str) -> set[str]:
+    """``start.e`` over a fresh columnar snapshot (set-at-a-time).
+
+    Frontiers are keyed by NFA state set; each level derives the step
+    once per (state set, label) and sweeps the whole frontier through
+    one :meth:`gather`.  Per-state-set visited bitsets make each
+    (row, state set) pair expand at most once — cycle-safe exactly
+    like the interpreted evaluators.
+    """
+    initial = nfa.initial()
+    if not initial:
+        return set()
+    results: set[str] = set()
+    if nfa.is_accepting(initial):
+        results.add(start)  # empty path: included even if absent
+    start_row = view.row(start)
+    if start_row is None:
+        return results
+    nbytes = (view.nrows + 7) >> 3
+    visited: dict[StateSet, bytearray] = {initial: bytearray(nbytes)}
+    visited[initial][start_row >> 3] |= 1 << (start_row & 7)
+    accepted = bytearray(nbytes)
+    accepted_rows: list[int] = []
+    if nfa.is_accepting(initial):
+        accepted[start_row >> 3] |= 1 << (start_row & 7)
+    all_labels = view.label_names()
+    frontier: dict[StateSet, list[int]] = {initial: [start_row]}
+    while frontier:
+        next_frontier: dict[StateSet, list[int]] = {}
+        # Sorted state-set order mirrors evaluate_frontier's
+        # deterministic expansion (charges must not depend on dict
+        # iteration order).
+        for states in sorted(frontier, key=sorted):
+            rows = frontier[states]
+            alphabet = nfa.transition_labels(states)
+            if alphabet is None:
+                labels: Iterable[str] = all_labels
+            elif not alphabet:
+                continue  # accept-only state set: nothing to expand
+            else:
+                labels = sorted(alphabet.intersection(all_labels))
+            # Group labels by successor state set: a wildcard step sends
+            # every label to the same successor, and one combined-CSR
+            # gather then replaces a per-label pass over the frontier.
+            groups: dict[StateSet, list[str]] = {}
+            for label in labels:
+                stepped = nfa.step(states, label)
+                if stepped:
+                    groups.setdefault(stepped, []).append(label)
+            for next_states in sorted(groups, key=sorted):
+                group = groups[next_states]
+                if len(group) == len(all_labels):
+                    children = view.gather(rows, None)
+                else:
+                    children = []
+                    for label in group:
+                        children.extend(view.gather(rows, label))
+                if not children:
+                    continue
+                bits = visited.get(next_states)
+                if bits is None:
+                    bits = visited[next_states] = bytearray(nbytes)
+                bucket = next_frontier.get(next_states)
+                if bucket is None:
+                    bucket = next_frontier[next_states] = []
+                push = bucket.append
+                if nfa.is_accepting(next_states):
+                    admit = accepted_rows.append
+                    for child in children:
+                        word = child >> 3
+                        mask = 1 << (child & 7)
+                        if bits[word] & mask:
+                            continue
+                        bits[word] |= mask
+                        push(child)
+                        if not accepted[word] & mask:
+                            accepted[word] |= mask
+                            admit(child)
+                else:
+                    for child in children:
+                        word = child >> 3
+                        mask = 1 << (child & 7)
+                        if not bits[word] & mask:
+                            bits[word] |= mask
+                            push(child)
+        frontier = {
+            states: bucket
+            for states, bucket in next_frontier.items()
+            if bucket
+        }
+    oid = view.oid
+    results.update(oid(row) for row in accepted_rows)
+    return results
+
+
+def reachable_on_snapshot(view, roots: Iterable[str]) -> set[str]:
+    """Every OID reachable from *roots* (inclusive) via set values.
+
+    Columnar twin of :func:`repro.gsdb.gc.reachable_from`: label-blind
+    BFS over the all-labels CSR with one visited bitset.  Roots that
+    do not exist in the store are skipped, exactly as the interpreted
+    mark does.
+    """
+    nbytes = (view.nrows + 7) >> 3
+    seen = bytearray(nbytes)
+    seen_rows: list[int] = []
+    frontier: list[int] = []
+    for oid in roots:
+        row = view.row(oid)
+        if row is None:
+            continue
+        word = row >> 3
+        mask = 1 << (row & 7)
+        if seen[word] & mask:
+            continue
+        seen[word] |= mask
+        seen_rows.append(row)
+        frontier.append(row)
+    while frontier:
+        next_frontier: list[int] = []
+        for child in view.gather(frontier, None):
+            word = child >> 3
+            mask = 1 << (child & 7)
+            if seen[word] & mask:
+                continue
+            seen[word] |= mask
+            seen_rows.append(child)
+            next_frontier.append(child)
+        frontier = next_frontier
+    oid = view.oid
+    return {oid(row) for row in seen_rows}
+
+
+def reaches_on_snapshot(view, source: str, target: str) -> bool:
+    """Is *target* reachable from *source* (inclusive)?  Early-exit BFS.
+
+    Used by the serving invalidator to refine its fail-open reachability
+    screen: a precise downward sweep replaces "assume affected".
+    """
+    source_row = view.row(source)
+    target_row = view.row(target)
+    if source_row is None or target_row is None:
+        return False
+    if source_row == target_row:
+        return True
+    nbytes = (view.nrows + 7) >> 3
+    seen = bytearray(nbytes)
+    seen[source_row >> 3] |= 1 << (source_row & 7)
+    frontier = [source_row]
+    while frontier:
+        next_frontier: list[int] = []
+        for child in view.gather(frontier, None):
+            if child == target_row:
+                return True
+            word = child >> 3
+            mask = 1 << (child & 7)
+            if seen[word] & mask:
+                continue
+            seen[word] |= mask
+            next_frontier.append(child)
+        frontier = next_frontier
+    return False

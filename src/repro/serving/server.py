@@ -33,6 +33,7 @@ from repro.query.answer import make_answer
 from repro.query.ast import Query
 from repro.query.conditions import evaluate_condition
 from repro.query.evaluator import QueryEvaluator
+from repro.paths.kernel import evaluate_on_snapshot
 from repro.query.parser import parse_query
 from repro.serving.cache import QueryCache, cache_key
 from repro.serving.invalidation import Invalidator, build_screen
@@ -98,10 +99,31 @@ class QueryServer:
     # -- miss evaluation ------------------------------------------------------
 
     def _evaluate_fresh(self, query: Query, entry_oid: str) -> set[str]:
-        """One uncached evaluation, frontier-style when possible."""
+        """One uncached evaluation, kernel- or frontier-style.
+
+        A fresh columnar snapshot (``store.columnar``) serves unscoped
+        path sweeps; scoped queries keep the interpreted path — a
+        :class:`~repro.query.evaluator.ScopedStore` must stay in the
+        loop so out-of-scope objects remain invisible and charge their
+        probes.  No snapshot (or a stale one) falls back interpreted,
+        charging ``kernel_fallbacks``.
+        """
         store = self._evaluator._scoped_store(query)
         nfa = compile_expression(query.select_path)
-        if self.use_frontier:
+        candidates = None
+        if query.within is None:
+            manager = getattr(self.store, "columnar", None)
+            if manager is not None:
+                snapshot = manager.current()
+                if snapshot is not None:
+                    candidates = evaluate_on_snapshot(
+                        snapshot, nfa, entry_oid
+                    )
+                else:
+                    self.store.counters.kernel_fallbacks += 1
+        if candidates is not None:
+            pass
+        elif self.use_frontier:
             index = self.label_index if query.within is None else None
             candidates = nfa.evaluate_frontier(
                 store, entry_oid, label_index=index

@@ -391,6 +391,34 @@ class ViewCatalog:
             )
         return self.server
 
+    def enable_columnar(
+        self,
+        *,
+        rebuild_threshold: float = 0.25,
+        auto_refresh: bool = True,
+        stitch_borders: bool = True,
+    ):
+        """Attach an epoch-versioned columnar snapshot to the store.
+
+        Once enabled, scope-free recomputation, serving cold misses,
+        invalidation reachability refinement, and GC marking all run as
+        bitset kernels over CSR adjacency (:mod:`repro.gsdb.columnar`,
+        :mod:`repro.paths.kernel`) whenever the snapshot is fresh —
+        and fall back to the interpreted path (charging
+        ``kernel_fallbacks``) whenever it is not.  Idempotent.
+        """
+        manager = getattr(self.store, "columnar", None)
+        if manager is None:
+            from repro.gsdb.columnar import enable_columnar
+
+            manager = enable_columnar(
+                self.store,
+                rebuild_threshold=rebuild_threshold,
+                auto_refresh=auto_refresh,
+                stitch_borders=stitch_borders,
+            )
+        return manager
+
     def _cacheable_query(self, query: Query) -> bool:
         """False when the query's answer depends on view delegates."""
         names = set(self.virtual_views) | set(self.materialized_views)

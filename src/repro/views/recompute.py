@@ -15,6 +15,7 @@ from repro.errors import QueryEvaluationError
 from repro.gsdb.database import DatabaseRegistry
 from repro.gsdb.store import ObjectStore
 from repro.paths.automaton import compile_expression
+from repro.paths.kernel import evaluate_on_snapshot
 from repro.query.conditions import evaluate_condition
 from repro.query.evaluator import QueryEvaluator
 from repro.views.definition import ViewDefinition
@@ -46,9 +47,20 @@ def compute_view_members(
         entry = registry.resolve(entry).oid
     if entry not in base_store:
         raise QueryEvaluationError(f"entry object {entry!r} not in store")
-    candidates = compile_expression(query.select_path).evaluate(
-        base_store, entry
-    )
+    nfa = compile_expression(query.select_path)
+    snapshot = None
+    manager = getattr(base_store, "columnar", None)
+    if manager is not None:
+        snapshot = manager.current()
+        if snapshot is None:
+            base_store.counters.kernel_fallbacks += 1
+    if snapshot is not None:
+        candidates = evaluate_on_snapshot(snapshot, nfa, entry)
+    else:
+        # Set-at-a-time even without a snapshot: charges are identical
+        # to node-at-a-time evaluate (same (object, state-set) product),
+        # but whole frontiers share each per-label NFA step.
+        candidates = nfa.evaluate_frontier(base_store, entry)
     if query.condition is None:
         return candidates
     return {

@@ -1,0 +1,177 @@
+"""Columnar kernel on the serving read path: equivalence + fallbacks.
+
+The server may answer a cold miss from the columnar snapshot only when
+the snapshot is provably fresh; otherwise it must fall back to the
+interpreted evaluators (and say so via ``kernel_fallbacks``).  Scoped
+(``WITHIN``) queries never use the kernel — their charging contract
+goes through :class:`ScopedStore` and must stay untouched.
+"""
+
+from repro.gsdb import ObjectStore
+from repro.gsdb.columnar import enable_columnar
+from repro.gsdb.database import DatabaseRegistry
+from repro.gsdb.indexes import LabelIndex, ParentIndex
+from repro.query.evaluator import QueryEvaluator
+from repro.serving import QueryServer
+
+QUERIES = (
+    "SELECT R.emp X",
+    "SELECT R.emp.name X",
+    "SELECT R.* X WHERE X.age > 20",
+    "SELECT R.?.name X",
+)
+
+
+def build_env(**server_kwargs):
+    store = ObjectStore()
+    store.add_atomic("A1", "name", "ann")
+    store.add_atomic("A2", "age", 30)
+    store.add_set("A", "emp", ["A1", "A2"])
+    store.add_atomic("B1", "name", "bob")
+    store.add_set("B", "emp", ["B1"])
+    store.add_set("R", "root", ["A", "B"])
+    registry = DatabaseRegistry(store)
+    server = QueryServer(
+        registry,
+        parent_index=ParentIndex(store),
+        label_index=LabelIndex(store),
+        cache_size=8,
+        **server_kwargs,
+    )
+    return store, registry, server
+
+
+class TestKernelServing:
+    def test_cold_miss_answers_match_interpreted(self):
+        store, registry, server = build_env()
+        enable_columnar(store)
+        fresh = QueryEvaluator(registry)
+        for text in QUERIES:
+            assert server.evaluate_oids(text) == fresh.evaluate_oids(text)
+        assert store.counters.kernel_fallbacks == 0
+        assert store.counters.snapshot_rows_scanned > 0
+
+    def test_answers_track_updates_with_zero_stale_reads(self):
+        store, _, server = build_env()
+        enable_columnar(store)
+        text = "SELECT R.emp.name X"
+        assert server.evaluate_oids(text) == {"A1", "B1"}
+        store.delete_edge("R", "B")
+        # Invalidation evicts, the next miss re-evaluates on the
+        # delta-refreshed snapshot: never the pre-update extent.
+        assert server.evaluate_oids(text) == {"A1"}
+        store.insert_edge("R", "B")
+        assert server.evaluate_oids(text) == {"A1", "B1"}
+        assert store.counters.kernel_fallbacks == 0
+
+    def test_stale_snapshot_charges_fallback(self):
+        store, registry, server = build_env()
+        manager = enable_columnar(store, auto_refresh=False)
+        manager.refresh()
+        store.insert_edge("A", "B1")
+        fresh = QueryEvaluator(registry)
+        text = "SELECT R.emp.name X"
+        assert server.evaluate_oids(text) == fresh.evaluate_oids(text)
+        assert store.counters.kernel_fallbacks >= 1
+
+    def test_disabled_snapshot_charges_fallback(self):
+        store, _, server = build_env()
+        manager = enable_columnar(store)
+        manager.disable()
+        assert server.evaluate_oids("SELECT R.emp X") == {"A", "B"}
+        assert store.counters.kernel_fallbacks == 1
+
+    def test_no_manager_means_no_fallback_charge(self):
+        store, _, server = build_env()
+        server.evaluate_oids("SELECT R.emp X")
+        assert store.counters.kernel_fallbacks == 0
+        assert store.counters.snapshot_rows_scanned == 0
+
+    def test_scoped_queries_stay_interpreted(self):
+        store, registry, server = build_env()
+        registry.create_database("D1", ["A"])
+        server.parent_index.ignore_parent("D1")
+        enable_columnar(store)
+        before = store.counters.snapshot_rows_scanned
+        assert server.evaluate_oids("SELECT R.emp X WITHIN D1") == {"A"}
+        # Scope charging (ScopedStore) handled it; the kernel did not
+        # run and — by design — no fallback was charged either.
+        assert store.counters.snapshot_rows_scanned == before
+        assert store.counters.kernel_fallbacks == 0
+
+    def test_cache_hits_skip_the_kernel(self):
+        store, _, server = build_env()
+        enable_columnar(store)
+        text = "SELECT R.emp X"
+        server.evaluate_oids(text)
+        scanned = store.counters.snapshot_rows_scanned
+        server.evaluate_oids(text)
+        assert store.counters.snapshot_rows_scanned == scanned
+        assert server.stats()["hits"] == 1
+
+
+class TestShardedRefinement:
+    """A fresh columnar snapshot turns cross-shard fail-opens into
+    exact downward-reachability tests: same evictions where the anchor
+    really sits under the entry, retained entries (and zero
+    ``failopen_cross_shard``) where it does not."""
+
+    def env(self, **columnar_kwargs):
+        from tests.serving.test_sharded_failopen import (
+            build_server,
+            cross_shard_tree,
+        )
+
+        store, grp, val = cross_shard_tree()
+        manager = enable_columnar(store, **columnar_kwargs)
+        server = build_server(store, parent_index=None)
+        return store, grp, val, manager, server
+
+    QUERY = "SELECT root.emp X WHERE X.age > 20"
+
+    def test_refined_screen_still_invalidates_dependents(self):
+        store, grp, val, _manager, server = self.env()
+        assert server.evaluate_oids(self.QUERY) == {grp}
+        store.modify_value(val, 10)
+        # Refined, not failed open — and still never stale.
+        assert store.counters.failopen_cross_shard == 0
+        assert server.evaluate_oids(self.QUERY) == set()
+
+    def test_refined_screen_retains_unrelated_entries(self):
+        store, grp, val, _manager, server = self.env()
+        assert server.evaluate_oids(self.QUERY) == {grp}
+        hits = server.stats()["hits"]
+        store.add_atomic("lone", "age", 5)  # not under root
+        store.modify_value("lone", 99)
+        # Without the snapshot this update fails open (same label as
+        # the witness); the kernel proves root never reaches it.
+        assert store.counters.failopen_cross_shard == 0
+        assert server.evaluate_oids(self.QUERY) == {grp}
+        assert server.stats()["hits"] == hits + 1
+
+    def test_unstitched_facade_keeps_failopen_behaviour(self):
+        store, grp, val, _manager, server = self.env(stitch_borders=False)
+        assert server.evaluate_oids(self.QUERY) == {grp}
+        store.modify_value(val, 10)
+        # No servable view: the pre-columnar fail-open path, counter
+        # and all, is byte-for-byte what runs.
+        assert store.counters.failopen_cross_shard == 1
+        assert server.evaluate_oids(self.QUERY) == set()
+
+
+class TestInvalidatorRefinement:
+    def test_single_store_invalidation_unchanged(self):
+        # On a plain store the refinement branches never fire; this
+        # pins that enabling columnar does not alter hit/miss flow.
+        plain_store, plain_reg, plain_server = build_env()
+        col_store, col_reg, col_server = build_env()
+        enable_columnar(col_store)
+        text = "SELECT R.emp.name X"
+        for server, store in (
+            (plain_server, plain_store),
+            (col_server, col_store),
+        ):
+            server.evaluate_oids(text)
+            store.modify_value("A1", "anne")
+            server.evaluate_oids(text)
+        assert plain_server.stats() == col_server.stats()

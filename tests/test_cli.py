@@ -246,3 +246,64 @@ class TestSharded:
     def test_main_shards_flag_missing_value(self, capsys):
         assert main(["--shards"]) == 2
         assert "usage" in capsys.readouterr().err
+
+
+class TestColumnarCommand:
+    def test_on_status_off(self, person_file):
+        out = run(
+            f"load {person_file}",
+            "columnar status",
+            "columnar on",
+            "columnar status",
+            "columnar off",
+            "columnar status",
+        )
+        assert "not enabled" in out
+        # the 'on' echo plus the following status line
+        assert out.count("columnar snapshot on:") == 2
+        assert "columnar snapshot off (interpreted fallback)" in out
+        assert "columnar snapshot off:" in out
+
+    def test_off_before_on(self):
+        assert "never enabled" in run("columnar off")
+
+    def test_usage_on_bogus_argument(self):
+        assert "usage: columnar" in run("columnar sideways")
+
+    def test_members_identical_across_modes(self, person_file):
+        plain = run(
+            f"load {person_file}",
+            "define mview YP as: SELECT ROOT.professor X "
+            "WHERE X.age <= 45",
+            "members YP",
+        )
+        columnar = run(
+            f"load {person_file}",
+            "columnar on",
+            "define mview YP as: SELECT ROOT.professor X "
+            "WHERE X.age <= 45",
+            "members YP",
+        )
+        assert "P1" in plain and "P1" in columnar
+
+
+class TestProfileCommand:
+    def test_profile_smoke(self):
+        import contextlib
+        import io as _io
+
+        buffer = _io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main(["profile", "3", "3", "6"])
+        assert code == 0
+        out = buffer.getvalue()
+        assert "[interpreted]" in out
+        assert "[columnar]" in out
+        for phase in ("build", "define", "updates", "recompute",
+                      "serve", "gc-mark"):
+            assert phase in out
+        assert "snapshot" in out  # lifecycle stats line
+
+    def test_profile_bad_argument(self, capsys):
+        assert main(["profile", "three"]) == 2
+        assert "usage: profile" in capsys.readouterr().err

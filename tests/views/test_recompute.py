@@ -101,3 +101,55 @@ class TestPopulateAndRecompute:
         before = person_tree_store.counters.view_recomputations
         populate_view(view)
         assert person_tree_store.counters.view_recomputations == before
+
+
+class TestColumnarRecompute:
+    """Scope-free recomputation through the columnar kernel: same
+    member sets, fallback discipline, counters."""
+
+    def test_members_match_interpreted(self, person_tree_store):
+        from repro.gsdb.columnar import enable_columnar
+
+        d = ViewDefinition.parse(YP_DEF)
+        interpreted = compute_view_members(d, person_tree_store)
+        enable_columnar(person_tree_store)
+        assert compute_view_members(d, person_tree_store) == interpreted
+        assert person_tree_store.counters.kernel_fallbacks == 0
+        assert person_tree_store.counters.snapshot_rows_scanned > 0
+
+    def test_members_match_after_updates(self, person_tree_store):
+        from repro.gsdb.columnar import enable_columnar
+
+        d = ViewDefinition.parse(YP_DEF)
+        enable_columnar(person_tree_store)
+        compute_view_members(d, person_tree_store)
+        person_tree_store.delete_edge("ROOT", "P1")
+        assert compute_view_members(d, person_tree_store) == set()
+        person_tree_store.insert_edge("ROOT", "P1")
+        assert compute_view_members(d, person_tree_store) == {"P1"}
+
+    def test_stale_snapshot_charges_fallback(self, person_tree_store):
+        from repro.gsdb.columnar import enable_columnar
+
+        d = ViewDefinition.parse(YP_DEF)
+        manager = enable_columnar(person_tree_store, auto_refresh=False)
+        manager.refresh()
+        person_tree_store.modify_value("N1", "Jon")
+        assert compute_view_members(d, person_tree_store) == {"P1"}
+        assert person_tree_store.counters.kernel_fallbacks == 1
+
+    def test_scoped_views_never_use_kernel(self, person_registry):
+        from repro.gsdb.columnar import enable_columnar
+
+        d = ViewDefinition.parse(
+            "define mview V as: SELECT ROOT.* X "
+            "WHERE X.name = 'John' WITHIN PERSON"
+        )
+        store = person_registry.store
+        enable_columnar(store)
+        before = store.counters.snapshot_rows_scanned
+        assert compute_view_members(
+            d, store, registry=person_registry
+        ) == {"P1", "P3"}
+        assert store.counters.snapshot_rows_scanned == before
+        assert store.counters.kernel_fallbacks == 0
