@@ -59,6 +59,7 @@ def emit(
     note: str | None = None,
     filename: str,
     config: Mapping[str, object] | None = None,
+    counters: Mapping[str, int] | None = None,
 ) -> str:
     """Render a results table, print it, and persist it to disk.
 
@@ -67,12 +68,15 @@ def emit(
 
         {"experiment": "e3", "title": ..., "config": {...},
          "environment": {...}, "headers": [...], "rows": [[...], ...],
-         "note": ...}
+         "note": ..., "counters": {...}}
 
     *config* records experiment parameters (sweep bounds, seeds) that
     the table itself does not carry; ``environment`` stamps the
     interpreter and platform the artifact was produced on
-    (:func:`environment_stamp`).
+    (:func:`environment_stamp`).  *counters* optionally stamps the
+    run's final logical cost counters (``CostCounters.as_dict()``) so a
+    results diff can attribute a table change to the counter that moved
+    — the key is present in the JSON only when provided.
     """
     text = render_table(title, headers, rows, note=note)
     print()
@@ -92,6 +96,10 @@ def emit(
         "rows": [[_json_value(value) for value in row] for row in rows],
         "note": note,
     }
+    if counters is not None:
+        payload["counters"] = {
+            key: int(value) for key, value in sorted(counters.items())
+        }
     (RESULTS_DIR / f"{stem}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=False) + "\n"
     )

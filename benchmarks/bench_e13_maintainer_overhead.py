@@ -14,6 +14,7 @@ import pytest
 
 from _common import emit
 from repro.gsdb import ParentIndex
+from repro.instrumentation.counters import CostCounters
 from repro.instrumentation import Meter
 from repro.views import (
     DagCountingMaintainer,
@@ -61,6 +62,7 @@ def run_engine(kind: str):
     return (
         meter.delta.total_base_accesses() / max(1, len(applied)),
         meter.elapsed / max(1, len(applied)),
+        meter.delta,
     )
 
 
@@ -70,8 +72,10 @@ ENGINES = ("algorithm-1", "extended", "dag-counting", "recompute")
 def run_experiment():
     rows = []
     baseline = None
+    total = CostCounters()
     for kind in ENGINES:
-        accesses, seconds = run_engine(kind)
+        accesses, seconds, delta = run_engine(kind)
+        total.add(delta)
         if baseline is None:
             baseline = accesses
         rows.append(
@@ -82,11 +86,11 @@ def run_experiment():
                 round(accesses / baseline, 2),
             ]
         )
-    return rows
+    return rows, total
 
 
 def test_e13_table():
-    rows = run_experiment()
+    rows, total = run_experiment()
     emit(
         "E13: maintainer generality overhead on a simple view "
         "(identical 40-update stream)",
@@ -97,6 +101,7 @@ def test_e13_table():
         "stateful counting maintainer is actually cheaper per update — "
         "it trades memory (reach/witness counts) for base accesses",
         filename="e13_maintainer_overhead.txt",
+        counters=total.as_dict(),
     )
     by_kind = {row[0]: row[1] for row in rows}
     assert by_kind["recompute"] > by_kind["algorithm-1"]

@@ -30,6 +30,7 @@ import pytest
 
 from _common import emit
 from repro.gsdb import ObjectStore, ParentIndex
+from repro.instrumentation.counters import CostCounters
 from repro.gsdb.updates import Delete, Insert, Modify
 from repro.instrumentation import Meter
 from repro.views import (
@@ -186,9 +187,12 @@ def run_view_sweep():
 
 def run_batch_sweep():
     rows = []
+    total = CostCounters()
     for size in (16, 64, 128):
-        streamed, _ = run_batch_mode(size, batched=False)
+        streamed, streamed_delta = run_batch_mode(size, batched=False)
         batched, delta = run_batch_mode(size, batched=True)
+        total.add(streamed_delta)
+        total.add(delta)
         rows.append(
             [
                 size,
@@ -198,11 +202,14 @@ def run_batch_sweep():
                 round(streamed / max(1, batched), 1),
             ]
         )
-    return rows
+    return rows, total
 
 
 def test_e14_view_sweep_table():
     rows, stats = run_view_sweep()
+    total = CostCounters()
+    for delta in stats.values():
+        total.add(delta)
     emit(
         "E14a: maintaining 1..64 disjoint-prefix views over one "
         f"{UPDATES}-update stream (object reads + edge traversals)",
@@ -214,6 +221,7 @@ def test_e14_view_sweep_table():
         "one view whose prefix matches, so its cost tracks the "
         "*affected* count and stays flat",
         filename="e14_multiview_dispatch.txt",
+        counters=total.as_dict(),
     )
     by_views = {row[0]: row for row in rows}
     # The tentpole claim: >= 5x fewer base accesses at 32 views.
@@ -231,7 +239,7 @@ def test_e14_view_sweep_table():
 
 
 def test_e14_batch_sweep_table():
-    rows = run_batch_sweep()
+    rows, total = run_batch_sweep()
     emit(
         "E14b: churny batches against 32 dispatcher-maintained views — "
         "streaming dispatch vs coalesced batch dispatch",
@@ -241,6 +249,7 @@ def test_e14_batch_sweep_table():
         "folds, so batch dispatch touches the base only for the "
         "screening labels of the surviving (folded) modifies",
         filename="e14b_batch_coalescing.txt",
+        counters=total.as_dict(),
     )
     for row in rows:
         assert row[3] > 0  # coalescing engaged

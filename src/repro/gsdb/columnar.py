@@ -423,6 +423,10 @@ class ColumnarSnapshot:
     def oid(self, row: int) -> str:
         return self.oid_of[row]
 
+    def label(self, row: int) -> str:
+        """The label of *row* (uncharged — a column lookup)."""
+        return self.label_of[row]
+
     def label_names(self) -> list[str]:
         """All labels present, sorted (the wildcard step alphabet)."""
         return sorted(self._labels)
@@ -535,6 +539,10 @@ class ShardedSnapshotView:
     def oid(self, row: int) -> str:
         k = self._shard_of_row(row)
         return self._snapshots[k].oid_of[row - self._base[k]]
+
+    def label(self, row: int) -> str:
+        k = self._shard_of_row(row)
+        return self._snapshots[k].label_of[row - self._base[k]]
 
     def _shard_of_row(self, row: int) -> int:
         from bisect import bisect_right

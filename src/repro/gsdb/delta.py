@@ -1,0 +1,148 @@
+"""Columnar delta frames: a coalesced update batch as rows + bitmasks.
+
+The interpreted dispatcher screens a batch update-at-a-time — for every
+(update, view) pair it re-asks "does this label matter to that view?"
+even though many views share the same label gate.  A
+:class:`DeltaFrame` re-expresses the batch column-wise, the way
+discrimination networks (Rete / GDN-style IVM, see PAPERS.md) express
+working memory: one row per update, integer bitmasks over row
+positions for each op kind, and a *gate label* column (the child's
+label for edge ops, the modified object's label for modifies) resolved
+once through the store's uncharged ``peek``.
+
+Label screening then becomes mask algebra: "edge updates whose child
+label is in {item, val}" is the OR of two per-label masks, computed
+once per distinct label signature per frame and shared by every view
+with the same gate (:meth:`DeltaFrame.mask_for` — ``batch_screens``
+counts distinct masks, not views, making the sharing visible).
+
+Frames carry *global* batch positions so a sharded dispatcher can cut
+one batch into per-shard frames (intake order preserved within each)
+and merge screen verdicts back deterministically by position —
+:mod:`repro.views.batch_kernel` consumes them either way.
+
+Cost accounting: building a frame charges one ``delta_rows_scanned``
+per row (the columnar write-path currency — see
+:mod:`repro.instrumentation.counters`); mask construction charges one
+``batch_screens`` per distinct signature computed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gsdb.updates import Delete, Insert, Modify, Update
+
+
+def iter_bits(mask: int):
+    """Yield the set bit positions of *mask*, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class DeltaFrame:
+    """One applied, coalesced batch in columnar form.
+
+    Attributes:
+        updates: the batch slice, in intake order.
+        positions: global batch position of each local row (identity
+            for an unsharded frame).
+        anchors: per row, the OID whose root chain screening needs —
+            the edge's parent for Insert/Delete, the object for Modify.
+        gate_labels: per row, the screen's label gate operand — the
+            child's label for edge ops, the object's own label for
+            modifies; None when the object no longer exists.
+        insert_mask / delete_mask / modify_mask: bitmasks over local
+            row positions by op kind (``edge_mask`` is their union for
+            Insert/Delete).
+    """
+
+    def __init__(
+        self,
+        updates: Sequence[Update],
+        store,
+        *,
+        positions: Sequence[int] | None = None,
+        counters=None,
+    ) -> None:
+        self.updates = list(updates)
+        n = len(self.updates)
+        self.positions = (
+            list(range(n)) if positions is None else list(positions)
+        )
+        if len(self.positions) != n:
+            raise ValueError("positions must cover every update")
+        peek = getattr(store, "peek", None) or store.get_optional
+        anchors: list[str] = []
+        gate_labels: list[str | None] = []
+        insert_mask = delete_mask = modify_mask = 0
+        label_masks: dict[str, int] = {}
+        for i, update in enumerate(self.updates):
+            bit = 1 << i
+            if isinstance(update, Modify):
+                modify_mask |= bit
+                anchors.append(update.oid)
+                obj = peek(update.oid)
+            elif isinstance(update, (Insert, Delete)):
+                if isinstance(update, Insert):
+                    insert_mask |= bit
+                else:
+                    delete_mask |= bit
+                anchors.append(update.parent)
+                obj = peek(update.child)
+            else:  # unknown op kind: the kernel must not screen it
+                raise TypeError(f"unsupported update: {update!r}")
+            label = None if obj is None else obj.label
+            gate_labels.append(label)
+            if label is not None:
+                label_masks[label] = label_masks.get(label, 0) | bit
+        self.anchors = anchors
+        self.gate_labels = gate_labels
+        self.insert_mask = insert_mask
+        self.delete_mask = delete_mask
+        self.modify_mask = modify_mask
+        self.edge_mask = insert_mask | delete_mask
+        self._label_masks = label_masks
+        self._mask_cache: dict[tuple[str, frozenset[str] | None], int] = {}
+        self.counters = counters
+        if counters is not None:
+            counters.delta_rows_scanned += n
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def touched(self) -> list[str]:
+        """The distinct screen anchors, sorted (region sweep targets)."""
+        return sorted(set(self.anchors))
+
+    def mask_for(self, kind: str, labels: frozenset[str] | None) -> int:
+        """Rows of op *kind* whose gate label is in *labels*.
+
+        *kind* is ``"edge"`` (Insert/Delete) or ``"modify"``; *labels*
+        is None for a wildcard gate (every row of the kind passes).
+        Masks are cached per (kind, signature): the first view asking
+        for a signature pays one ``batch_screens``, every later view
+        sharing the gate reuses the mask for free — the Rete-style
+        sharing experiment E19 measures.
+        """
+        key = (kind, labels)
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+        base = self.edge_mask if kind == "edge" else self.modify_mask
+        if labels is None:
+            mask = base
+        else:
+            gate = 0
+            for label in labels:
+                gate |= self._label_masks.get(label, 0)
+            mask = base & gate
+        self._mask_cache[key] = mask
+        if self.counters is not None:
+            self.counters.batch_screens += 1
+        return mask
+
+
+__all__ = ["DeltaFrame", "iter_bits"]

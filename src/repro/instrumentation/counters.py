@@ -61,6 +61,19 @@ Counter semantics
                       fell back to the interpreted path because no
                       fresh snapshot was available (disabled, stale
                       mid-refresh, or unstitched shard borders)
+``batch_screens``     shared screen masks computed by the batch
+                      maintenance kernel — one per distinct (op kind,
+                      label signature) per delta frame, so views
+                      sharing a label gate share the screen
+                      (discrimination-network sharing, experiment E19)
+``delta_rows_scanned`` delta-frame rows materialized and candidate
+                      positions examined by the batch kernel's
+                      set-at-a-time screens, plus root-chain rows
+                      reconstructed from its region sweep — the write
+                      path's analogue of ``snapshot_rows_scanned``
+``batch_kernel_fallbacks`` batches that wanted the vectorized write
+                      path but dispatched interpreted instead (no
+                      fresh snapshot, or a non-tree affected region)
 
 The cache/screening counters are bookkeeping, not base accesses, so
 they do not contribute to :meth:`CostCounters.total_base_accesses` —
@@ -68,7 +81,10 @@ they exist to *explain* why base accesses went down (experiment E14).
 The snapshot/kernel counters are likewise kept out of the base-access
 total: columnar rows are copies, not base objects, so kernel work is
 reported in its own currency (``snapshot_rows_scanned``) next to the
-interpreted path's reads + traversals (experiment E18).
+interpreted path's reads + traversals (experiment E18); the batch
+kernel's screen/region work (``batch_screens``,
+``delta_rows_scanned``) lives in that same columnar currency
+(experiment E19).
 The recovery counters (retries, dedups, replays, resyncs) likewise are
 event counts, not base accesses; the base accesses a recovery action
 *causes* (e.g. a resync's recomputation) are charged where they happen
@@ -119,6 +135,9 @@ class CostCounters:
     snapshot_refreshes: int = 0
     snapshot_rows_scanned: int = 0
     kernel_fallbacks: int = 0
+    batch_screens: int = 0
+    delta_rows_scanned: int = 0
+    batch_kernel_fallbacks: int = 0
     notes: dict[str, int] = field(default_factory=dict)
 
     # -- arithmetic --------------------------------------------------------

@@ -419,6 +419,33 @@ class ViewCatalog:
             )
         return manager
 
+    def enable_batch_kernel(
+        self,
+        *,
+        rebuild_threshold: float = 0.25,
+        auto_refresh: bool = True,
+        stitch_borders: bool = True,
+    ):
+        """Turn on the vectorized write path (experiment E19).
+
+        Enables the columnar snapshot (same knobs as
+        :meth:`enable_columnar`) and flips the dispatcher's
+        ``batch_kernel`` flag, so batches go through
+        :mod:`repro.views.batch_kernel` — set-at-a-time screens over
+        columnar delta frames plus one region sweep per view root —
+        whenever a fresh snapshot is available, and fall back to the
+        interpreted dispatcher (charging ``batch_kernel_fallbacks``)
+        otherwise.  View extents are byte-identical either way.
+        Idempotent; returns the snapshot manager.
+        """
+        manager = self.enable_columnar(
+            rebuild_threshold=rebuild_threshold,
+            auto_refresh=auto_refresh,
+            stitch_borders=stitch_borders,
+        )
+        self.dispatcher.batch_kernel = True
+        return manager
+
     def _cacheable_query(self, query: Query) -> bool:
         """False when the query's answer depends on view delegates."""
         names = set(self.virtual_views) | set(self.materialized_views)

@@ -128,6 +128,9 @@ class PathContext:
         self._paths: dict[tuple[str, str], list[str] | None] = {}
         self._chains: dict[tuple[str, str], list[str] | None] = {}
         self._chain_sets: dict[str, tuple[frozenset[str], bool]] = {}
+        #: oid -> final-state subtree (exclusive), precomputed by the
+        #: batch kernel's region sweep; None when not batch-kernel-fed.
+        self._subtrees: dict[str, set[str]] | None = None
 
     def label(self, oid: str) -> str | None:
         """The label of *oid*, or None when absent (uncharged)."""
@@ -172,6 +175,16 @@ class PathContext:
             oids, stopped = self.parent_index.chain_to_top(oid)
             self._chain_sets[oid] = (frozenset(oids), stopped)
         return self._chain_sets[oid]
+
+    def descendants_of(self, oid: str) -> set[str] | None:
+        """The final-state subtree below *oid* (exclusive), when a
+        batch kernel precomputed it from one snapshot sweep; None sends
+        the caller down the interpreted ``descendants`` walk.  Shared
+        by every view purging the same batched-delete subtree —
+        callers must not mutate."""
+        if self._subtrees is None:
+            return None
+        return self._subtrees.get(oid)
 
 
 # ---------------------------------------------------------------------------
@@ -395,6 +408,14 @@ def coalesce_updates(
       the edge is the net op and survives alone;
     * modify chains on one object fold to ``(first old, last new)`` and
       vanish entirely when the value returns to the original;
+    * a surviving modify whose object is the child of a *surviving*
+      insert folds into that insert: the insert handler re-derives
+      every membership decision and delegate value about the child
+      from the final base state (``v_insert`` refreshes existing
+      members), and any effect the value had at the child's *previous*
+      position is re-decided by the update that detached it — itself
+      in the batch.  A modify whose insert was parity-cancelled (the
+      edge is back in its pre-batch place) survives untouched;
     * survivors keep their relative order (each at the position of its
       key's last occurrence).
 
@@ -433,6 +454,18 @@ def coalesce_updates(
                 )
         else:
             result.append(ops[0])
+    inserted_children = {
+        update.child for update in result if isinstance(update, Insert)
+    }
+    if inserted_children:
+        result = [
+            update
+            for update in result
+            if not (
+                isinstance(update, Modify)
+                and update.oid in inserted_children
+            )
+        ]
     if counters is not None:
         counters.updates_coalesced += len(updates) - len(result)
     return result
@@ -463,6 +496,15 @@ class MaintenanceDispatcher:
 
     Attributes:
         updates_dispatched: updates fanned out (post-coalescing).
+        batch_kernel: when True, batches take the vectorized write path
+            (:mod:`repro.views.batch_kernel`) whenever the store has a
+            fresh columnar snapshot, falling back to the interpreted
+            dispatch (charging ``batch_kernel_fallbacks``) otherwise.
+            View extents are byte-identical either way.
+        batch_kernel_batches: batches the kernel fully dispatched.
+        kernel_phase_seconds: wall seconds per kernel phase
+            (``screen`` / ``region`` / ``apply``) — the ``repro
+            profile maint`` breakdown.
     """
 
     def __init__(
@@ -471,12 +513,20 @@ class MaintenanceDispatcher:
         *,
         parent_index: ParentIndex | None = None,
         subscribe: bool = False,
+        batch_kernel: bool = False,
     ) -> None:
         self.store = store
         self.parent_index = parent_index
         self._entries: list[_Registration] = []
         self._buffer: list[Update] | None = None
         self.updates_dispatched = 0
+        self.batch_kernel = batch_kernel
+        self.batch_kernel_batches = 0
+        self.kernel_phase_seconds = {
+            "screen": 0.0,
+            "region": 0.0,
+            "apply": 0.0,
+        }
         if subscribe:
             store.subscribe(self.handle)
 
@@ -533,10 +583,55 @@ class MaintenanceDispatcher:
 
     def handle_batch(self, updates: Sequence[Update]) -> list[Update]:
         """Dispatch an already-applied batch, coalesced, with one
-        shared :class:`PathContext`.  Returns the surviving updates."""
+        shared :class:`PathContext`.  Returns the surviving updates.
+
+        With :attr:`batch_kernel` set and a fresh columnar snapshot
+        available, the batch goes through the set-at-a-time kernel
+        (:func:`~repro.views.batch_kernel.kernel_dispatch`) instead of
+        the update-major interpreted loop — byte-identical extents,
+        columnar-currency charges."""
         survivors = coalesce_updates(updates, counters=self.store.counters)
+        if not survivors:
+            return survivors
+        if self.batch_kernel and self._try_batch_kernel(survivors):
+            return survivors
         self._dispatch(survivors, batched=True)
         return survivors
+
+    def _try_batch_kernel(self, updates: Sequence[Update]) -> bool:
+        """Run *updates* through the batch kernel when possible.
+
+        Declines (returns False, charging ``batch_kernel_fallbacks``)
+        when the store has no columnar snapshot manager, the snapshot
+        cannot serve (stale with ``auto_refresh=False``, disabled, or
+        unstitched shards), or the kernel itself bails on a non-tree
+        region.  Snapshot refresh time counts toward the ``region``
+        phase — it is the price of the CSR the sweep runs over.
+        """
+        counters = self.store.counters
+        manager = getattr(self.store, "columnar", None)
+        if manager is None:
+            counters.batch_kernel_fallbacks += 1
+            return False
+        from time import perf_counter
+
+        began = perf_counter()
+        snapshot = manager.current()
+        self.kernel_phase_seconds["region"] += perf_counter() - began
+        if snapshot is None:
+            counters.batch_kernel_fallbacks += 1
+            return False
+        from repro.views.batch_kernel import kernel_dispatch
+
+        return kernel_dispatch(self, updates, snapshot)
+
+    def _kernel_frames(self, updates: Sequence[Update]):
+        """The batch as columnar delta frames (one, when unsharded)."""
+        from repro.gsdb.delta import DeltaFrame
+
+        return [
+            DeltaFrame(updates, self.store, counters=self.store.counters)
+        ]
 
     @contextmanager
     def batch(self) -> Iterator[None]:

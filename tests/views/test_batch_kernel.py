@@ -1,0 +1,320 @@
+"""Unit tests for the vectorized write path.
+
+Covers the columnar delta frames (bitmask construction, shared screen
+masks, per-shard cuts), the root-region sweep (tree regions, non-tree
+bailout), the dispatcher wiring (engagement, fallback charging, the
+``descendants_of`` subtree sharing), the coalescer's
+modify-after-insert fold, and the CLI surface.  The extent-equality
+and cross-dispatcher properties live in
+``tests/property/test_batch_kernel_equivalence.py``; experiment E19
+carries the amortization claims.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.cli import Shell, main
+from repro.gsdb import ObjectStore, ParentIndex
+from repro.gsdb.columnar import enable_columnar
+from repro.gsdb.delta import DeltaFrame, iter_bits
+from repro.gsdb.sharding import ShardedParentIndex, ShardedStore
+from repro.gsdb.updates import Delete, Insert, Modify
+from repro.instrumentation.counters import CostCounters
+from repro.views import ViewCatalog
+from repro.views.batch_kernel import RootRegion
+from repro.views.dispatcher import MaintenanceDispatcher, coalesce_updates
+from repro.views.parallel import ParallelDispatcher
+from repro.workloads import multiview
+
+
+def small_fixture(views: int = 8, *, kernel: bool = True, branches: int = 8):
+    store = multiview.build_store(ObjectStore(), branches=branches, items=4)
+    parent_index = ParentIndex(store)
+    dispatcher = MaintenanceDispatcher(
+        store, parent_index=parent_index, subscribe=True
+    )
+    if kernel:
+        enable_columnar(store)
+        dispatcher.batch_kernel = True
+    view_list = multiview.build_views(
+        store, views, parent_index=parent_index, dispatcher=dispatcher
+    )
+    return store, dispatcher, view_list
+
+
+class TestIterBits:
+    def test_ascending_positions(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b1011)) == [0, 1, 3]
+        assert list(iter_bits(1 << 70)) == [70]
+
+
+class TestDeltaFrame:
+    def test_columns_and_masks(self):
+        store, _, _ = small_fixture(0, kernel=False)
+        updates = [
+            Insert("s0", "item0_0"),
+            Delete("s1", "item1_0"),
+            Modify("val0_0", 0, 99),
+        ]
+        counters = CostCounters()
+        frame = DeltaFrame(updates, store, counters=counters)
+        assert len(frame) == 3
+        assert frame.positions == [0, 1, 2]
+        assert frame.anchors == ["s0", "s1", "val0_0"]
+        assert frame.gate_labels == ["item", "item", "val"]
+        assert frame.insert_mask == 0b001
+        assert frame.delete_mask == 0b010
+        assert frame.edge_mask == 0b011
+        assert frame.modify_mask == 0b100
+        assert counters.delta_rows_scanned == 3
+
+    def test_mask_for_shares_signatures(self):
+        store, _, _ = small_fixture(0, kernel=False)
+        updates = [Insert("s0", "item0_0"), Modify("val0_0", 0, 99)]
+        counters = CostCounters()
+        frame = DeltaFrame(updates, store, counters=counters)
+        first = frame.mask_for("edge", frozenset({"item", "val"}))
+        again = frame.mask_for("edge", frozenset({"val", "item"}))
+        assert first == again == 0b01
+        assert counters.batch_screens == 1  # one distinct signature
+        assert frame.mask_for("modify", frozenset({"val"})) == 0b10
+        assert frame.mask_for("edge", None) == frame.edge_mask
+        assert counters.batch_screens == 3
+
+    def test_gate_label_none_for_vanished_child(self):
+        store, _, _ = small_fixture(0, kernel=False)
+        store.delete_edge("s0", "item0_0")
+        store.remove_object("item0_0")
+        frame = DeltaFrame([Delete("s0", "item0_0")], store)
+        assert frame.gate_labels == [None]
+        assert frame.mask_for("edge", frozenset({"item"})) == 0
+
+
+class TestRootRegion:
+    def test_paths_and_chains_match_path_between(self):
+        store, _, _ = small_fixture(0)
+        snapshot = store.columnar.current()
+        region = RootRegion(snapshot, "root")
+        assert region.valid
+        assert region.path("root") == []
+        assert region.path("item0_1") == ["s0", "item"]
+        assert region.chain("val0_1") == ["root", "s0", "item0_1", "val0_1"]
+        assert region.path("nowhere") is None
+
+    def test_absent_root_answers_none(self):
+        store, _, _ = small_fixture(0)
+        region = RootRegion(store.columnar.current(), "ghost")
+        assert region.valid
+        assert region.path("root") is None
+
+    def test_diamond_invalidates(self):
+        store = ObjectStore()
+        store.add_set("root", "root")
+        store.add_set("a", "a")
+        store.add_set("b", "b")
+        store.add_atomic("c", "c", 1)
+        for parent, child in (
+            ("root", "a"), ("root", "b"), ("a", "c"), ("b", "c"),
+        ):
+            store.insert_edge(parent, child)
+        region = RootRegion(enable_columnar(store).current(), "root")
+        assert not region.valid
+
+
+class TestCoalesceFold:
+    def test_modify_after_insert_folds_into_insert(self):
+        counters = CostCounters()
+        result = coalesce_updates(
+            [Insert("p", "x"), Modify("x", 1, 2)], counters=counters
+        )
+        assert result == [Insert("p", "x")]
+        assert counters.updates_coalesced == 1
+
+    def test_chain_then_surviving_insert(self):
+        counters = CostCounters()
+        result = coalesce_updates(
+            [Insert("p", "x"), Modify("x", 1, 2), Modify("x", 2, 3)],
+            counters=counters,
+        )
+        assert result == [Insert("p", "x")]
+        assert counters.updates_coalesced == 2
+
+    def test_parity_cancelled_insert_keeps_modify(self):
+        counters = CostCounters()
+        result = coalesce_updates(
+            [Insert("p", "x"), Modify("x", 1, 2), Delete("p", "x")],
+            counters=counters,
+        )
+        assert result == [Modify("x", 1, 2)]
+        assert counters.updates_coalesced == 2
+
+    def test_modify_of_uninserted_object_survives(self):
+        result = coalesce_updates([Insert("p", "x"), Modify("y", 1, 2)])
+        assert result == [Insert("p", "x"), Modify("y", 1, 2)]
+
+
+class TestDispatcherWiring:
+    def test_kernel_engages_and_charges_columnar_currency(self):
+        store, dispatcher, _ = small_fixture(8)
+        with dispatcher.batch():
+            store.modify_value("val0_0", 99)
+            store.modify_value("val1_0", 99)
+        assert dispatcher.batch_kernel_batches == 1
+        assert store.counters.batch_kernel_fallbacks == 0
+        assert store.counters.delta_rows_scanned > 0
+        assert dispatcher.kernel_phase_seconds["apply"] > 0
+
+    def test_modify_only_batch_shares_one_screen_mask(self):
+        store, dispatcher, _ = small_fixture(8)
+        before = store.counters.batch_screens
+        with dispatcher.batch():
+            for b in range(4):
+                store.modify_value(f"val{b}_0", 99)
+        # All 8 views gate modifies on the same {val} signature: one
+        # shared mask however many views screen the batch.
+        assert store.counters.batch_screens - before == 1
+
+    def test_no_snapshot_manager_falls_back(self):
+        store, dispatcher, views = small_fixture(2, kernel=False)
+        dispatcher.batch_kernel = True  # no enable_columnar
+        with dispatcher.batch():
+            store.modify_value("val0_0", 99)
+        assert dispatcher.batch_kernel_batches == 0
+        assert store.counters.batch_kernel_fallbacks == 1
+        assert not multiview.audit_views(views)
+
+    def test_stale_snapshot_falls_back(self):
+        store = multiview.build_store(ObjectStore(), branches=4, items=4)
+        parent_index = ParentIndex(store)
+        dispatcher = MaintenanceDispatcher(
+            store, parent_index=parent_index, subscribe=True
+        )
+        manager = enable_columnar(store, auto_refresh=False)
+        manager.refresh()
+        dispatcher.batch_kernel = True
+        views = multiview.build_views(
+            store, 2, parent_index=parent_index, dispatcher=dispatcher
+        )
+        with dispatcher.batch():
+            store.modify_value("val0_0", 99)  # stales the pinned snapshot
+        assert dispatcher.batch_kernel_batches == 0
+        assert store.counters.batch_kernel_fallbacks == 1
+        assert not multiview.audit_views(views)
+
+    def test_non_tree_region_falls_back(self):
+        store = ObjectStore()
+        store.add_set("root", "root")
+        store.add_set("a", "a")
+        store.add_set("b", "b")
+        store.add_atomic("c", "c", 1)
+        for parent, child in (
+            ("root", "a"), ("root", "b"), ("a", "c"), ("b", "c"),
+        ):
+            store.insert_edge(parent, child)
+        store.add_atomic("lone", "x", 1)
+        parent_index = ParentIndex(store)
+        catalog_store = store
+        dispatcher = MaintenanceDispatcher(
+            catalog_store, parent_index=parent_index, subscribe=True
+        )
+        enable_columnar(store)
+        dispatcher.batch_kernel = True
+        from repro.views import (
+            MaterializedView,
+            SimpleViewMaintainer,
+            ViewDefinition,
+            populate_view,
+        )
+
+        view = MaterializedView(
+            ViewDefinition.parse("define mview V as: SELECT root.x X"),
+            store,
+            ObjectStore(),
+        )
+        populate_view(view)
+        dispatcher.register(
+            SimpleViewMaintainer(
+                view, parent_index=parent_index, subscribe=False
+            )
+        )
+        with dispatcher.batch():
+            store.modify_value("lone", 2)
+        assert dispatcher.batch_kernel_batches == 0
+        assert store.counters.batch_kernel_fallbacks == 1
+
+    def test_batched_delete_shares_subtree(self):
+        store, dispatcher, views = small_fixture(4)
+        with dispatcher.batch():
+            store.delete_edge("root", "s0")
+        assert dispatcher.batch_kernel_batches == 1
+        assert not multiview.audit_views(views)
+        assert not views[0].members()  # V0 lost its whole branch
+
+    def test_empty_batch_skips_kernel(self):
+        store, dispatcher, _ = small_fixture(2)
+        with dispatcher.batch():
+            pass
+        assert dispatcher.batch_kernel_batches == 0
+        assert store.counters.batch_kernel_fallbacks == 0
+
+
+class TestShardedFrames:
+    def test_frames_cut_by_owner_with_global_positions(self):
+        store = ShardedStore(shards=2)
+        multiview.build_store(store, branches=4, items=2)
+        parent_index = ShardedParentIndex(store)
+        dispatcher = ParallelDispatcher(
+            store, parent_index=parent_index, subscribe=False
+        )
+        updates = [
+            Modify("val0_0", 0, 9),
+            Modify("val1_0", 0, 9),
+            Modify("val2_0", 0, 9),
+            Modify("val3_0", 0, 9),
+        ]
+        frames = dispatcher._kernel_frames(updates)
+        assert 1 <= len(frames) <= 2
+        covered = sorted(
+            position for frame in frames for position in frame.positions
+        )
+        assert covered == [0, 1, 2, 3]
+        for frame in frames:
+            for local, position in enumerate(frame.positions):
+                assert frame.updates[local] is updates[position]
+            # Charges landed on the owning shard's counters.
+            assert frame.counters.delta_rows_scanned == len(frame)
+
+    def test_single_shard_uses_one_frame(self):
+        store, dispatcher, _ = small_fixture(2)
+        frames = dispatcher._kernel_frames([Modify("val0_0", 0, 9)])
+        assert len(frames) == 1
+        assert frames[0].positions == [0]
+
+
+class TestCli:
+    def test_batch_kernel_command_round_trip(self):
+        out = StringIO()
+        shell = Shell(stdout=out)
+        shell.execute("batch-kernel status")
+        shell.execute("batch-kernel on")
+        shell.execute("batch-kernel status")
+        shell.execute("batch-kernel off")
+        text = out.getvalue()
+        assert "batch kernel off" in text
+        assert "batch kernel on" in text
+        assert "0 fallbacks" in text
+
+    def test_enable_batch_kernel_via_catalog(self):
+        catalog = ViewCatalog()
+        manager = catalog.enable_batch_kernel()
+        assert catalog.dispatcher.batch_kernel
+        assert getattr(catalog.store, "columnar") is manager
+
+    def test_profile_maint_entry_point(self, capsys):
+        assert main(["profile", "maint", "2", "16", "4"]) == 0
+        printed = capsys.readouterr().out
+        assert "[interpreted]" in printed
+        assert "[kernel]" in printed
+        assert "region" in printed
