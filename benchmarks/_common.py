@@ -21,6 +21,13 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.instrumentation import render_table
+from repro.instrumentation.stats import (  # noqa: F401 - shared bench helpers
+    latency_summary,
+    p50,
+    p95,
+    p99,
+    percentile,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

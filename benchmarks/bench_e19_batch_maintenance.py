@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 
 from _common import emit
 from repro.gsdb.columnar import enable_columnar
@@ -82,8 +83,8 @@ def extent_sha(extents: dict[str, frozenset[str]]) -> str:
 
 
 def run_mode(kernel: bool, views: int, batch_size: int):
-    """One full stream; returns (cost/update, counter delta, extents,
-    audit failures, dispatcher)."""
+    """One full stream; returns (cost/update, wall seconds, counter
+    delta, extents, audit failures, dispatcher)."""
     store = multiview.build_store(ObjectStore(), branches=BRANCHES)
     parent_index = ParentIndex(store)
     dispatcher = MaintenanceDispatcher(
@@ -96,6 +97,7 @@ def run_mode(kernel: bool, views: int, batch_size: int):
         store, views, parent_index=parent_index, dispatcher=dispatcher
     )
     before = store.counters.snapshot()
+    began = time.perf_counter()
     multiview.run_stream(
         store,
         updates=UPDATES,
@@ -103,9 +105,11 @@ def run_mode(kernel: bool, views: int, batch_size: int):
         dispatcher=dispatcher,
         batch_size=batch_size,
     )
+    wall = time.perf_counter() - began
     delta = store.counters.delta_since(before)
     return (
         cost_of(delta) / UPDATES,
+        wall,
         delta,
         multiview.view_extents(view_list),
         multiview.audit_views(view_list),
@@ -151,12 +155,22 @@ def test_e19_amortization_sweep():
     kernel_costs: dict[tuple[int, int], float] = {}
     for views in VIEW_COUNTS:
         for batch_size in BATCH_SIZES:
-            interp_cost, interp_delta, interp_extents, interp_bad, _ = (
-                run_mode(False, views, batch_size)
-            )
-            kernel_cost, kernel_delta, kernel_extents, kernel_bad, disp = (
-                run_mode(True, views, batch_size)
-            )
+            (
+                interp_cost,
+                interp_wall,
+                interp_delta,
+                interp_extents,
+                interp_bad,
+                _,
+            ) = run_mode(False, views, batch_size)
+            (
+                kernel_cost,
+                kernel_wall,
+                kernel_delta,
+                kernel_extents,
+                kernel_bad,
+                disp,
+            ) = run_mode(True, views, batch_size)
             assert not interp_bad, interp_bad
             assert not kernel_bad, kernel_bad
             # The headline guarantee: byte-identical view extents.
@@ -178,6 +192,8 @@ def test_e19_amortization_sweep():
                     batch_size,
                     round(interp_cost, 1),
                     round(kernel_cost, 1),
+                    round(interp_wall, 3),
+                    round(kernel_wall, 3),
                     kernel_delta.batch_screens,
                     kernel_delta.delta_rows_scanned,
                     shas[(views, batch_size)],
@@ -193,17 +209,22 @@ def test_e19_amortization_sweep():
             "batch",
             "interp cost/upd",
             "kernel cost/upd",
+            "interp wall s",
+            "kernel wall s",
             "screen masks",
             "delta rows",
             "extent sha",
         ],
         rows,
         note="the kernel's per-batch fixed work (snapshot refresh + one "
-        "region sweep per view root) amortizes across the batch, so its "
-        "cost/update falls steeply with batch size and stays nearly "
-        "flat in the view count (shared masks, shared sweep); the "
-        "interpreted column instead grows with views when streaming "
-        "(batch 1) and leans on coalescing when batched",
+        "region sweep per view root, restricted to select-path labels "
+        "when every screen on the root is simple) amortizes across the "
+        "batch, so its cost/update falls steeply with batch size and "
+        "stays nearly flat in the view count (shared masks, shared "
+        "sweep); the interpreted column instead grows with views when "
+        "streaming (batch 1) and leans on coalescing when batched; the "
+        "wall columns are nondeterministic and report the whole stream "
+        "so the charged crossover can be checked against real time",
         filename="e19_batch_amortization.txt",
         config={
             "branches": BRANCHES,
@@ -231,7 +252,7 @@ def test_e19_amortization_sweep():
 def test_e19_sharded_frames():
     views = 32
     batch_size = 64 if CI_MODE else 64
-    serial_cost, _, serial_extents, serial_bad, _ = run_mode(
+    serial_cost, _, _, serial_extents, serial_bad, _ = run_mode(
         True, views, batch_size
     )
     assert not serial_bad, serial_bad
@@ -281,7 +302,7 @@ def test_e19_sharded_frames():
 def test_e19_fallback_guard():
     views = 8
     batch_size = 16
-    live_cost, _, live_extents, live_bad, _ = run_mode(
+    live_cost, _, _, live_extents, live_bad, _ = run_mode(
         True, views, batch_size
     )
     assert not live_bad, live_bad

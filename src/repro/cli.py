@@ -36,6 +36,7 @@ Commands (``help`` prints this at the prompt):
 ``chaos [SEED [STEPS [RATE [LEVEL]]]]``  run a fault-injection round
 ``serve SELECT ...``     run a query through the cached serving layer
 ``bench-serve [STEPS [RATIO [CACHE [SEED]]]]``  mixed read/update round
+``traffic [REQUESTS [RATE [RATIO [SEED]]]]``  open-loop serving round
 ``quit`` / EOF           leave
 
 The shell is deliberately a thin veneer over :class:`ViewCatalog`; it
@@ -103,6 +104,7 @@ class Shell:
             "batch-kernel": self.cmd_batch_kernel,
             "chaos": self.cmd_chaos,
             "bench-serve": self.cmd_bench_serve,
+            "traffic": self.cmd_traffic,
             "help": self.cmd_help,
         }
 
@@ -409,6 +411,79 @@ class Shell:
         )
         for line in result.stale_reads[:5]:
             self._print(f"  {line}")
+
+    def cmd_traffic(self, args: list[str]) -> None:
+        """traffic [REQUESTS [RATE [RATIO [SEED]]]] — a self-contained
+        open-loop serving round on a synthetic tree (not the shell's
+        catalog): one Poisson/Zipf schedule replayed against the
+        sequential QueryServer, then against the epoch-pinned MVCC
+        tier, with tail latency and the staleness audit for both."""
+        from repro.serving import AsyncQueryServer, EpochServer, QueryServer
+        from repro.serving.traffic import run_concurrent, run_sequential
+        from repro.workloads.generators import TreeSpec
+        from repro.workloads.traffic import (
+            TrafficSpec,
+            build_traffic_env,
+            poisson_schedule,
+        )
+
+        requests = int(args[0]) if len(args) > 0 else 600
+        rate = float(args[1]) if len(args) > 1 else 600.0
+        ratio = float(args[2]) if len(args) > 2 else 0.9
+        seed = int(args[3]) if len(args) > 3 else 0
+        spec = TrafficSpec(
+            seed=seed, requests=requests, rate=rate, read_ratio=ratio
+        )
+        tree = TreeSpec(depth=4, seed=seed + 17)
+        reports = []
+        env = build_traffic_env(seed=seed, tree=tree)
+        baseline = QueryServer(
+            env.registry,
+            parent_index=env.parent_index,
+            label_index=env.label_index,
+            cache_size=64,
+        )
+        reports.append(
+            run_sequential(
+                baseline,
+                env,
+                poisson_schedule(spec, env.pool),
+                seed=seed + 1,
+            )
+        )
+        env = build_traffic_env(seed=seed, tree=tree)
+        core = EpochServer(
+            env.registry,
+            parent_index=env.parent_index,
+            retention_capacity=4,
+            cache_size=64,
+        )
+        reports.append(
+            run_concurrent(
+                AsyncQueryServer(core),
+                env,
+                poisson_schedule(spec, env.pool),
+                seed=seed + 1,
+            )
+        )
+        for report in reports:
+            latency = report.read_summary()
+            self._print(
+                f"{report.label}: {report.reads} reads / "
+                f"{report.writes} writes, "
+                f"{report.throughput:.0f} req/s achieved "
+                f"(offered {report.offered_rate:.0f}), "
+                f"p50 {latency['p50'] * 1e3:.2f} ms, "
+                f"p95 {latency['p95'] * 1e3:.2f} ms, "
+                f"p99 {latency['p99'] * 1e3:.2f} ms, "
+                f"violations {report.violations}"
+            )
+            if report.lag_histogram:
+                lags = ", ".join(
+                    f"{lag}:{count}"
+                    for lag, count in sorted(report.lag_histogram.items())
+                )
+                self._print(f"  staleness lags {{{lags}}}")
 
     def cmd_chaos(self, args: list[str]) -> None:
         """chaos [SEED [STEPS [RATE [LEVEL]]]] — a self-contained

@@ -58,6 +58,24 @@ class IntegrityError(GSDBError):
     """
 
 
+class PinnedEpochError(GSDBError):
+    """A retained snapshot epoch was reclaimed while readers still pin it.
+
+    Raised by :meth:`~repro.gsdb.columnar.SnapshotRetention.reclaim`:
+    reclaiming a pinned epoch would pull an immutable view out from
+    under a concurrent reader, so it is refused outright.  Superseded
+    epochs with live pins are instead retained past the ring's capacity
+    and reclaimed lazily once their last pin drops.
+    """
+
+    def __init__(self, seq: int, pins: int) -> None:
+        super().__init__(
+            f"epoch publication {seq} still has {pins} reader pin(s)"
+        )
+        self.seq = seq
+        self.pins = pins
+
+
 # ---------------------------------------------------------------------------
 # Paths
 # ---------------------------------------------------------------------------

@@ -14,8 +14,11 @@ The main entry points are:
 
 from repro.gsdb.columnar import (
     ColumnarSnapshot,
+    EpochView,
+    PublishedEpoch,
     ShardedColumnarSnapshot,
     ShardedSnapshotView,
+    SnapshotRetention,
     enable_columnar,
 )
 from repro.gsdb.gc import collect_garbage, reachable_from
@@ -56,6 +59,7 @@ __all__ = [
     "ColumnarSnapshot",
     "DatabaseRegistry",
     "Delete",
+    "EpochView",
     "Insert",
     "LabelIndex",
     "Modify",
@@ -63,8 +67,10 @@ __all__ = [
     "ObjectStore",
     "OidGenerator",
     "ParentIndex",
+    "PublishedEpoch",
     "Shape",
     "ShardedColumnarSnapshot",
+    "SnapshotRetention",
     "ShardedParentIndex",
     "ShardedSnapshotView",
     "ShardedStore",

@@ -53,20 +53,43 @@ per epoch advanced, ``snapshot_rows_scanned`` per row touched by
 builds, deltas, and :meth:`gather` sweeps.  Columnar rows are copies,
 not base objects, so none of it lands in ``total_base_accesses`` —
 experiment E18 reports the two currencies side by side.
+
+MVCC-by-epoch (experiment E20): :meth:`ColumnarSnapshot.freeze`
+captures the snapshot's exact current state as an immutable
+:class:`EpochView` — columns that only ever grow or get replaced
+(``oid_of``/``label_of``/``row_of``/CSR arrays) are shared with a row
+clamp, columns mutated in place (the alive bitset, the patch overlay,
+the value column) are copied — so concurrent readers can keep
+evaluating on a frozen epoch while the live snapshot refreshes
+underneath them.  Atomic *values* are imaged alongside structure
+(``value_of``; ``modify`` replay writes the cell in place, uncharged —
+a column write, not a row scan) so WHERE conditions evaluate on the
+frozen epoch without touching the live store.
+:class:`SnapshotRetention` keeps a ring of recently published epochs
+with pin-counted reclamation: a pinned epoch is never reclaimed
+(explicit reclaim raises :class:`~repro.errors.PinnedEpochError`;
+capacity eviction skips it and retries when the pin drops).
 """
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import Callable, Iterable, Sequence
 
+from repro.errors import PinnedEpochError
 from repro.gsdb.object import Object
 from repro.gsdb.store import ObjectStore
 from repro.gsdb.updates import Delete, Insert, Modify, Update
 
 #: Queued creation/removal event: (kind, oid, label, is_set, children,
-#: log position at event time).  Removals carry no label/children.
-_Event = tuple[str, str, str, bool, tuple[str, ...], int]
+#: atomic value, log position at event time).  Removals carry no
+#: label/children/value; set objects carry ``_SET_VALUE``.
+_Event = tuple[str, str, str, bool, tuple[str, ...], object, int]
+
+#: Sentinel stored in the value column for set-typed rows (atomic
+#: values can legitimately be any scalar, including falsy ones).
+_SET_VALUE = object()
 
 
 class ColumnarSnapshot:
@@ -118,6 +141,7 @@ class ColumnarSnapshot:
         self.oid_of: list[str] = []
         self.row_of: dict[str, int] = {}
         self.label_of: list[str] = []
+        self.value_of: list = []
         self._alive = bytearray()
         self._dead = 0
         self._labels: set[str] = set()
@@ -143,14 +167,25 @@ class ColumnarSnapshot:
         if not self._built:
             return
         children = tuple(sorted(obj.children())) if obj.is_set else ()
+        value = _SET_VALUE if obj.is_set else obj.atomic_value()
         self._events.append(
-            ("c", obj.oid, obj.label, obj.is_set, children, len(self._store.log))
+            (
+                "c",
+                obj.oid,
+                obj.label,
+                obj.is_set,
+                children,
+                value,
+                len(self._store.log),
+            )
         )
 
     def _on_removal(self, obj: Object) -> None:
         if not self._built:
             return
-        self._events.append(("r", obj.oid, "", False, (), len(self._store.log)))
+        self._events.append(
+            ("r", obj.oid, "", False, (), None, len(self._store.log))
+        )
 
     # -- freshness ---------------------------------------------------------
 
@@ -225,12 +260,15 @@ class ColumnarSnapshot:
         self.row_of = {oid: row for row, oid in enumerate(oids)}
         row_of = self.row_of
         label_of: list[str] = []
+        value_of: list = []
         objs: list[Object] = []
         for oid in oids:
             obj = peek(oid)
             objs.append(obj)
             label_of.append(obj.label)
+            value_of.append(_SET_VALUE if obj.is_set else obj.atomic_value())
         self.label_of = label_of
+        self.value_of = value_of
         self._labels = set(label_of)
         self._alive = bytearray(b"\xff" * ((nrows + 7) >> 3))
         self._dead = 0
@@ -310,7 +348,7 @@ class ColumnarSnapshot:
         ei = 0
         pos = self._log_pos
         for update in updates:
-            while ei < len(events) and events[ei][5] <= pos:
+            while ei < len(events) and events[ei][6] <= pos:
                 self._apply_event(events[ei])
                 ei += 1
             self._apply_update(update)
@@ -336,7 +374,15 @@ class ColumnarSnapshot:
 
     def _apply_update(self, update: Update) -> None:
         if isinstance(update, Modify):
-            return  # values are not imaged; structure is unchanged
+            # Structure is unchanged; patch the value cell in place.  A
+            # missing row is another shard's object (its own snapshot
+            # images the value) — never a rebuild trigger.  Uncharged:
+            # a column write, not a row scan, so the charged shape of
+            # delta refreshes (E18/E19) is unchanged.
+            row = self.row_of.get(update.oid)
+            if row is not None:
+                self.value_of[row] = update.new_value
+            return
         prow = self.row_of.get(update.parent)
         if prow is None:
             # The parent predates the snapshot's event stream (should be
@@ -367,7 +413,7 @@ class ColumnarSnapshot:
                 children.discard(crow)
 
     def _apply_event(self, event: _Event) -> None:
-        kind, oid, label, is_set, children, _pos = event
+        kind, oid, label, is_set, children, value, _pos = event
         if kind == "c":
             if oid in self.row_of:
                 # OID re-created after removal: stale CSR edges point at
@@ -377,6 +423,7 @@ class ColumnarSnapshot:
             row = len(self.oid_of)
             self.oid_of.append(oid)
             self.label_of.append(label)
+            self.value_of.append(value)
             self.row_of[oid] = row
             if (row >> 3) >= len(self._alive):
                 self._alive.append(0)
@@ -431,6 +478,12 @@ class ColumnarSnapshot:
         """All labels present, sorted (the wildcard step alphabet)."""
         return sorted(self._labels)
 
+    def atomic_value(self, row: int) -> object | None:
+        """The imaged atomic value of *row*, or None for a set row
+        (atomic values are scalars, never None — no ambiguity)."""
+        value = self.value_of[row]
+        return None if value is _SET_VALUE else value
+
     def gather(self, rows: Sequence[int], label: str | None = None) -> list[int]:
         """Child rows of *rows* (carrying *label*, or any when None).
 
@@ -471,6 +524,23 @@ class ColumnarSnapshot:
         counters.snapshot_rows_scanned += len(out)
         return out
 
+    # -- epoch freezing (MVCC, experiment E20) ------------------------------
+
+    def freeze(self, counters=None) -> "EpochView":
+        """An immutable image of the snapshot's exact current state.
+
+        Refreshes first (writer-side; cheap when already fresh), then
+        captures every column by the cheapest sound means: columns the
+        live snapshot only appends to or wholesale-replaces
+        (``oid_of``/``label_of``/``row_of``, the CSR arrays) are shared
+        with an ``nrows`` clamp; columns mutated in place (the alive
+        bitset, the patch overlay, the value column) are copied.
+        Reader work on the frozen view is charged to *counters* (the
+        serving tier's own currency), defaulting to the snapshot's.
+        """
+        self.refresh()
+        return EpochView(self, counters if counters is not None else self.counters)
+
     # -- introspection -----------------------------------------------------
 
     def describe(self) -> str:
@@ -481,6 +551,106 @@ class ColumnarSnapshot:
             f"{len(self._patched)} patched rows, "
             f"{self.full_rebuilds} rebuilds / "
             f"{self.delta_refreshes} delta refreshes"
+        )
+
+
+class EpochView:
+    """One store's columnar state frozen at a single epoch (immutable).
+
+    Implements the snapshot view protocol (``nrows`` / :meth:`row` /
+    :meth:`oid` / :meth:`label` / :meth:`label_names` / :meth:`gather`)
+    plus :meth:`atomic_value`, so the PR 5 bitset kernels and the
+    serving tier's condition evaluation run on it unchanged.  Sharing
+    contract with the live :class:`ColumnarSnapshot` it was frozen
+    from: ``oid_of``/``label_of`` only ever *append* between rebuilds
+    and a rebuild *replaces* the list objects, so sharing them with an
+    ``nrows`` clamp is sound; likewise ``row_of`` only gains keys
+    (mapping to rows ≥ the frozen ``nrows``, filtered here) and CSR
+    arrays are replaced, never mutated.  The alive bitset, patch
+    overlay, and value column are mutated in place by delta refreshes,
+    so those are copied at freeze time.
+    """
+
+    def __init__(self, snapshot: ColumnarSnapshot, counters) -> None:
+        self.epoch = snapshot.epoch
+        self.counters = counters
+        self.nrows = snapshot.nrows
+        self.oid_of = snapshot.oid_of
+        self.label_of = snapshot.label_of
+        self._row_of = snapshot.row_of
+        self._value_of = list(snapshot.value_of)
+        self._alive = bytes(snapshot._alive)
+        self._dead = snapshot._dead
+        self._labels = set(snapshot._labels)
+        self._label_csr = snapshot._label_csr
+        self._all_csr = snapshot._all_csr
+        self._csr_rows = snapshot._csr_rows
+        self._patched = {
+            row: {label: set(bucket) for label, bucket in adj.items()}
+            for row, adj in snapshot._patched.items()
+        }
+
+    def row(self, oid: str) -> int | None:
+        row = self._row_of.get(oid)
+        if row is None or row >= self.nrows:
+            return None  # absent, or born after this epoch froze
+        if self._dead and not (self._alive[row >> 3] & (1 << (row & 7))):
+            return None
+        return row
+
+    def oid(self, row: int) -> str:
+        return self.oid_of[row]
+
+    def label(self, row: int) -> str:
+        return self.label_of[row]
+
+    def label_names(self) -> list[str]:
+        return sorted(self._labels)
+
+    def atomic_value(self, row: int) -> object | None:
+        value = self._value_of[row]
+        return None if value is _SET_VALUE else value
+
+    def gather(self, rows: Sequence[int], label: str | None = None) -> list[int]:
+        """Identical sweep to :meth:`ColumnarSnapshot.gather`, charged
+        to the frozen view's own counters (the reader currency)."""
+        counters = self.counters
+        counters.snapshot_rows_scanned += len(rows)
+        out: list[int] = []
+        patched = self._patched
+        csr = self._all_csr if label is None else self._label_csr.get(label)
+        ncsr = self._csr_rows
+        alive = self._alive
+        dead = self._dead
+        for row in rows:
+            adj = patched.get(row)
+            if adj is not None:
+                if label is None:
+                    children: Iterable[int] = [
+                        crow for bucket in adj.values() for crow in bucket
+                    ]
+                else:
+                    children = adj.get(label, ())
+            elif csr is not None and row < ncsr:
+                off, tgt = csr
+                children = tgt[off[row] : off[row + 1]]
+            else:
+                continue
+            if dead:
+                out.extend(
+                    crow
+                    for crow in children
+                    if alive[crow >> 3] & (1 << (crow & 7))
+                )
+            else:
+                out.extend(children)
+        counters.snapshot_rows_scanned += len(out)
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"frozen epoch {self.epoch}: {self.nrows} rows "
+            f"({self._dead} dead), {len(self._patched)} patched rows"
         )
 
 
@@ -508,6 +678,9 @@ class ShardedSnapshotView:
             total += snap.nrows
         self.nrows = total
         self.epochs = tuple(snap.epoch for snap in snapshots)
+        #: Scalar fingerprint mirroring ShardedColumnarSnapshot.epoch,
+        #: so retention/freshness code treats both view kinds alike.
+        self.epoch = sum(self.epochs)
         labels: set[str] = set()
         for snap in snapshots:
             labels.update(snap._labels)
@@ -551,6 +724,10 @@ class ShardedSnapshotView:
 
     def label_names(self) -> list[str]:
         return self._labels
+
+    def atomic_value(self, row: int) -> object | None:
+        k = self._shard_of_row(row)
+        return self._snapshots[k].atomic_value(row - self._base[k])
 
     def gather(self, rows: Sequence[int], label: str | None = None) -> list[int]:
         base = self._base
@@ -656,6 +833,26 @@ class ShardedColumnarSnapshot:
             self._view = view
         return view
 
+    def freeze(self, counters=None) -> ShardedSnapshotView:
+        """An immutable stitched view of the current epoch tuple.
+
+        Each shard snapshot freezes into an :class:`EpochView`; the
+        stitched view captures border children at construction and is
+        never re-stitched, so the whole object is immutable.  Requires
+        ``stitch_borders`` (an unstitchable facade cannot serve frozen
+        epochs any more than live ones).
+        """
+        if not self.stitch_borders:
+            raise ValueError("cannot freeze an unstitched sharded snapshot")
+        self.refresh()
+        if counters is None:
+            counters = self.counters
+        return ShardedSnapshotView(
+            self._store,
+            [snap.freeze(counters) for snap in self._shard_snapshots],
+            counters,
+        )
+
     def describe(self) -> str:
         state = "fresh" if self.is_fresh() else "stale"
         rows = sum(snap.nrows for snap in self._shard_snapshots)
@@ -663,6 +860,179 @@ class ShardedColumnarSnapshot:
             f"epoch {self.epoch} ({state}): {rows} rows across "
             f"{len(self._shard_snapshots)} shard snapshots; "
             f"stitch_borders={self.stitch_borders}"
+        )
+
+
+class PublishedEpoch:
+    """One retained publication: a frozen view plus pin accounting.
+
+    ``seq`` is the ring's monotonically increasing publication number
+    (the unit freshness lag is measured in — epochs of *published*
+    history, not raw refresh counts).  ``cache`` is an opaque slot the
+    serving tier hangs its per-epoch query-cache partition on.
+    """
+
+    __slots__ = ("seq", "epoch", "view", "pins", "cache", "reclaimed")
+
+    def __init__(self, seq: int, epoch: int, view) -> None:
+        self.seq = seq
+        self.epoch = epoch
+        self.view = view
+        self.pins = 0
+        self.cache = None
+        self.reclaimed = False
+
+    def __repr__(self) -> str:
+        return (
+            f"PublishedEpoch(seq={self.seq}, epoch={self.epoch}, "
+            f"pins={self.pins})"
+        )
+
+
+class SnapshotRetention:
+    """A ring of recently published frozen epochs with pinned reclamation.
+
+    The write path calls :meth:`publish` after each maintenance batch
+    (idempotent while nothing changed); readers list retained epochs,
+    :meth:`pin` one, evaluate on its immutable view, and :meth:`unpin`.
+    Capacity eviction drops the oldest *unpinned* superseded entries;
+    an entry a reader still pins is retained past capacity and
+    reclaimed lazily when its last pin drops.  Explicitly reclaiming a
+    pinned epoch raises :class:`~repro.errors.PinnedEpochError` — there
+    is no code path that frees a view a reader holds.
+
+    All ring mutations happen under one small lock; the expensive parts
+    (snapshot refresh, freezing) run outside it on the writer thread.
+    Bookkeeping is charged to *counters*: ``epochs_published``,
+    ``epochs_reclaimed``, and ``snapshot_pins`` per reader pin.
+    """
+
+    def __init__(self, manager, *, capacity: int = 4, counters=None) -> None:
+        if capacity < 1:
+            raise ValueError("retention capacity must be positive")
+        self.manager = manager
+        self.capacity = capacity
+        self.counters = counters if counters is not None else manager.counters
+        self._lock = threading.Lock()
+        self._entries: list[PublishedEpoch] = []  # oldest .. newest
+        self._next_seq = 0
+
+    # -- write side ---------------------------------------------------------
+
+    def publish(self) -> PublishedEpoch:
+        """Freeze the store's current state as the newest retained epoch.
+
+        Writer-side only (refresh/freeze read the live snapshot).  When
+        nothing changed since the last publication the existing entry
+        is returned and no new epoch is minted — publication sequence
+        numbers advance only on real change, which is what makes
+        ``max_lag_epochs`` a bound on *observed history*, not on time.
+        """
+        manager = self.manager
+        manager.refresh()
+        epoch = manager.epoch
+        with self._lock:
+            latest = self._entries[-1] if self._entries else None
+            if latest is not None and latest.epoch == epoch:
+                return latest
+        view = manager.freeze(self.counters)
+        with self._lock:
+            entry = PublishedEpoch(self._next_seq, view.epoch, view)
+            self._next_seq += 1
+            self._entries.append(entry)
+            self.counters.epochs_published += 1
+            self._evict_locked()
+            return entry
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.capacity:
+            victim = next(
+                (e for e in self._entries[:-1] if e.pins == 0), None
+            )
+            if victim is None:
+                break  # every superseded epoch is pinned: retain them all
+            self._entries.remove(victim)
+            victim.reclaimed = True
+            self.counters.epochs_reclaimed += 1
+
+    def reclaim(self, seq: int) -> None:
+        """Explicitly drop the publication numbered *seq*.
+
+        Raises :class:`~repro.errors.PinnedEpochError` when a reader
+        still pins it, and :class:`KeyError` when it is not retained.
+        """
+        with self._lock:
+            for entry in self._entries:
+                if entry.seq == seq:
+                    if entry.pins:
+                        raise PinnedEpochError(seq, entry.pins)
+                    self._entries.remove(entry)
+                    entry.reclaimed = True
+                    self.counters.epochs_reclaimed += 1
+                    return
+        raise KeyError(f"no retained epoch publication {seq}")
+
+    # -- read side ----------------------------------------------------------
+
+    def latest(self) -> PublishedEpoch | None:
+        with self._lock:
+            return self._entries[-1] if self._entries else None
+
+    def entries(self) -> list[PublishedEpoch]:
+        """Retained publications, oldest first (a consistent copy)."""
+        with self._lock:
+            return list(self._entries)
+
+    def pin(self, entry: PublishedEpoch) -> bool:
+        """Take a reader pin on *entry*; False when it was already
+        reclaimed (the caller re-selects from :meth:`entries`)."""
+        with self._lock:
+            if entry.reclaimed:
+                return False
+            entry.pins += 1
+            self.counters.snapshot_pins += 1
+            return True
+
+    def unpin(self, entry: PublishedEpoch) -> None:
+        """Drop a reader pin, lazily evicting over-capacity entries."""
+        with self._lock:
+            if entry.pins <= 0:
+                raise ValueError(f"epoch publication {entry.seq} is not pinned")
+            entry.pins -= 1
+            self._evict_locked()
+
+    # -- freshness ----------------------------------------------------------
+
+    def store_dirty(self) -> bool:
+        """Has the store moved past the newest publication?
+
+        True when there is no publication yet, when the live snapshot
+        trails the store, or when the snapshot was refreshed past the
+        published epoch without a publish.  Contributes one epoch of
+        lag: the next publication is at most one batch away.
+        """
+        with self._lock:
+            latest = self._entries[-1] if self._entries else None
+        if latest is None:
+            return True
+        manager = self.manager
+        return not manager.is_fresh() or latest.epoch != manager.epoch
+
+    def lag_of(self, entry: PublishedEpoch) -> int:
+        """How many published epochs behind the store *entry* is."""
+        with self._lock:
+            latest = self._entries[-1] if self._entries else None
+        behind = 0 if latest is None else latest.seq - entry.seq
+        return behind + (1 if self.store_dirty() else 0)
+
+    def describe(self) -> str:
+        with self._lock:
+            entries = list(self._entries)
+        pins = sum(e.pins for e in entries)
+        seqs = ", ".join(str(e.seq) for e in entries)
+        return (
+            f"{len(entries)} retained epoch(s) [{seqs}] "
+            f"(capacity {self.capacity}, {pins} pin(s))"
         )
 
 

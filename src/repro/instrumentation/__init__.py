@@ -13,12 +13,24 @@ from repro.instrumentation.reporting import (
     ratio,
     render_table,
 )
+from repro.instrumentation.stats import (
+    latency_summary,
+    p50,
+    p95,
+    p99,
+    percentile,
+)
 
 __all__ = [
     "CostCounters",
     "Meter",
     "MeterSeries",
     "format_cell",
+    "latency_summary",
+    "p50",
+    "p95",
+    "p99",
+    "percentile",
     "print_table",
     "ratio",
     "render_table",

@@ -74,6 +74,14 @@ Counter semantics
 ``batch_kernel_fallbacks`` batches that wanted the vectorized write
                       path but dispatched interpreted instead (no
                       fresh snapshot, or a non-tree affected region)
+``epochs_published``  frozen snapshot epochs published into the MVCC
+                      retention ring (experiment E20)
+``epochs_reclaimed``  retained epochs whose frozen views were released
+                      by the ring (capacity eviction or explicit,
+                      never while pinned)
+``snapshot_pins``     reader pins taken on retained epochs — one per
+                      epoch-pinned evaluation, so E20 can report how
+                      much read traffic rode frozen views
 
 The cache/screening counters are bookkeeping, not base accesses, so
 they do not contribute to :meth:`CostCounters.total_base_accesses` —
@@ -84,7 +92,9 @@ reported in its own currency (``snapshot_rows_scanned``) next to the
 interpreted path's reads + traversals (experiment E18); the batch
 kernel's screen/region work (``batch_screens``,
 ``delta_rows_scanned``) lives in that same columnar currency
-(experiment E19).
+(experiment E19); the MVCC ring counters (``epochs_published``,
+``epochs_reclaimed``, ``snapshot_pins``) are retention bookkeeping in
+the same spirit (experiment E20).
 The recovery counters (retries, dedups, replays, resyncs) likewise are
 event counts, not base accesses; the base accesses a recovery action
 *causes* (e.g. a resync's recomputation) are charged where they happen
@@ -138,6 +148,9 @@ class CostCounters:
     batch_screens: int = 0
     delta_rows_scanned: int = 0
     batch_kernel_fallbacks: int = 0
+    epochs_published: int = 0
+    epochs_reclaimed: int = 0
+    snapshot_pins: int = 0
     notes: dict[str, int] = field(default_factory=dict)
 
     # -- arithmetic --------------------------------------------------------

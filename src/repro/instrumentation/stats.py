@@ -1,0 +1,65 @@
+"""Exact order statistics over recorded samples.
+
+The serving benchmarks report tail latency (p50/p95/p99) over the
+samples they actually recorded — no interpolation, no streaming sketch:
+the sample counts involved (hundreds to tens of thousands) make the
+exact nearest-rank percentile both correct and cheap, and exactness
+keeps the numbers reproducible across runs with the same seed.
+
+Nearest-rank definition: ``percentile(xs, q)`` is the smallest recorded
+sample ``x`` such that at least ``q`` percent of samples are ≤ ``x``
+(rank ``ceil(q/100 * n)``, 1-based, clamped to the sample range).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def percentile(samples: Sequence[float] | Iterable[float], q: float) -> float:
+    """The exact nearest-rank *q*-th percentile of *samples*.
+
+    Raises :class:`ValueError` on an empty sample set or a *q* outside
+    [0, 100] — silently guessing a tail latency would defeat the point.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("percentile of an empty sample set")
+    rank = math.ceil(q / 100 * len(ordered))
+    return ordered[max(rank, 1) - 1]
+
+
+def p50(samples: Sequence[float] | Iterable[float]) -> float:
+    """The median (exact nearest-rank)."""
+    return percentile(samples, 50)
+
+
+def p95(samples: Sequence[float] | Iterable[float]) -> float:
+    """The 95th percentile (exact nearest-rank)."""
+    return percentile(samples, 95)
+
+
+def p99(samples: Sequence[float] | Iterable[float]) -> float:
+    """The 99th percentile (exact nearest-rank)."""
+    return percentile(samples, 99)
+
+
+def latency_summary(samples: Sequence[float]) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ..., "max": ..., "mean": ...}``
+    over *samples* (each percentile exact over the recorded values)."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("latency summary of an empty sample set")
+    return {
+        "p50": percentile(ordered, 50),
+        "p95": percentile(ordered, 95),
+        "p99": percentile(ordered, 99),
+        "max": ordered[-1],
+        "mean": sum(ordered) / len(ordered),
+    }
+
+
+__all__ = ["latency_summary", "p50", "p95", "p99", "percentile"]

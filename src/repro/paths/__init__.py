@@ -22,6 +22,7 @@ from repro.paths.containment import (
     shortest_instance,
 )
 from repro.paths.kernel import (
+    evaluate_many_on_snapshot,
     evaluate_on_snapshot,
     reachable_on_snapshot,
     reaches_on_snapshot,
@@ -46,6 +47,7 @@ __all__ = [
     "compile_expression",
     "containment_counterexample",
     "evaluate_expression",
+    "evaluate_many_on_snapshot",
     "evaluate_on_snapshot",
     "intersection_witness",
     "is_contained",

@@ -22,8 +22,13 @@ Pipeline (:func:`kernel_dispatch`):
    downward BFS over the snapshot with predecessor tracking.  Chains
    and root paths for the batch's touched OIDs are then reconstructed
    from the predecessor column instead of per-update ParentIndex
-   walks.  A region that reaches any row twice is *not a tree*; the
-   whole batch falls back to the interpreted dispatcher (charging
+   walks.  When every screen on a root tests against a concrete select
+   path (all :class:`~repro.views.dispatcher._SimpleScreen`), the BFS
+   descends only through the union of those paths' labels — off-path
+   subtrees cannot change any verdict (see :class:`RootRegion`), so
+   the sweep's cost tracks the views, not the database.  A region that
+   reaches any row twice is *not a tree*; the whole batch falls back
+   to the interpreted dispatcher (charging
    ``batch_kernel_fallbacks``), which reproduces the interpreted
    semantics exactly, multi-parent errors included.
 3. **Screens** — per (frame, view) verdicts replicating
@@ -89,11 +94,34 @@ class RootRegion:
     parents, or a cycle): the region is not a tree and chain
     reconstruction would be ambiguous, so callers must fall back to the
     interpreted dispatcher.
+
+    ``allowed_labels`` restricts the sweep to the labels that can
+    appear on some registered select path rooted here: a child whose
+    label continues *no* view's path is counted for duplicate detection
+    but not descended into, so the region's size tracks the views'
+    paths instead of the whole database under the root.  Sound only
+    when every screen on this root resolves paths against its full
+    select path (:class:`~repro.views.dispatcher._SimpleScreen`): a
+    pruned OID answers ``path() is None``, and the interpreted screen
+    returns the same False for it — its true path carries the off-path
+    label that pruned it, so ``strip_prefix`` (edge) or the exact path
+    comparison (modify) must fail.  Reachability screens
+    (:class:`~repro.views.dispatcher._ExtendedScreen`) need the whole
+    region and must pass ``allowed_labels=None``.  Duplicate detection
+    inside a pruned subtree is forgone — tree discipline there is the
+    batching precondition already documented on ``coalesce_updates``.
     """
 
-    def __init__(self, view, root: str, counters=None) -> None:
+    def __init__(
+        self,
+        view,
+        root: str,
+        counters=None,
+        allowed_labels: frozenset[str] | None = None,
+    ) -> None:
         self.root = root
         self.valid = True
+        self.restricted = allowed_labels is not None
         self._view = view
         self._counters = counters
         self._pred: dict[int, int] = {}
@@ -105,6 +133,7 @@ class RootRegion:
             return  # absent root: every path/chain answers None
         pred = self._pred
         pred[root_row] = -1
+        seen = {root_row}
         frontier = [root_row]
         while frontier:
             next_frontier: list[int] = []
@@ -112,9 +141,15 @@ class RootRegion:
                 # Per-row gather keeps the parent association the flat
                 # frontier sweep would lose; charges are identical.
                 for child in view.gather([row], None):
-                    if child in pred:
+                    if child in seen:
                         self.valid = False
                         return
+                    seen.add(child)
+                    if (
+                        allowed_labels is not None
+                        and view.label(child) not in allowed_labels
+                    ):
+                        continue  # off every select path rooted here
                     pred[child] = row
                     next_frontier.append(child)
             frontier = next_frontier
@@ -302,11 +337,29 @@ def kernel_dispatch(dispatcher, updates: Sequence[Update], snapshot) -> bool:
     began = time.perf_counter()
     frames = dispatcher._kernel_frames(updates)
     walls["screen"] += time.perf_counter() - began
-    # Phase 2: one region sweep per distinct view root.
+    # Phase 2: one region sweep per distinct view root, restricted to
+    # the union of select-path labels when every screen on the root is
+    # a _SimpleScreen (an _ExtendedScreen's reachability verdicts need
+    # the whole region — None there disables the restriction).
     began = time.perf_counter()
+    allowed: dict[str, set[str] | None] = {}
+    for _j, entry in screened:
+        root = entry.screen.m.root
+        if isinstance(entry.screen, _SimpleScreen):
+            labels = allowed.get(root, set())
+            if labels is not None:
+                allowed[root] = labels | entry.screen._full_labels
+        else:
+            allowed[root] = None
     regions: dict[str, RootRegion] = {}
-    for root in sorted({entry.screen.m.root for _j, entry in screened}):
-        region = RootRegion(snapshot, root, counters)
+    for root in sorted(allowed):
+        labels = allowed[root]
+        region = RootRegion(
+            snapshot,
+            root,
+            counters,
+            allowed_labels=None if labels is None else frozenset(labels),
+        )
         if not region.valid:
             counters.batch_kernel_fallbacks += 1
             walls["region"] += time.perf_counter() - began
@@ -351,10 +404,16 @@ def kernel_dispatch(dispatcher, updates: Sequence[Update], snapshot) -> bool:
     context = PathContext(store, dispatcher.parent_index, batched=True)
     context._subtrees = subtrees
     for root, region in regions.items():
+        # A restricted region's None means "off every select path",
+        # not "unreachable": graft only its positive memos, and let
+        # maintainers that ask about pruned OIDs fall back to the
+        # context's ParentIndex walk.
         for oid, path in region._paths.items():
-            context._paths[(root, oid)] = path
+            if path is not None or not region.restricted:
+                context._paths[(root, oid)] = path
         for oid, chain in region._chains.items():
-            context._chains[(root, oid)] = chain
+            if chain is not None or not region.restricted:
+                context._chains[(root, oid)] = chain
     dispatcher.updates_dispatched += len(updates)
     for j, entry in enumerate(entries):
         maintainer = entry.maintainer

@@ -129,6 +129,8 @@ class ViewCatalog:
         self.evaluator = QueryEvaluator(self.registry)
         #: Optional read-path server (see :meth:`enable_serving`).
         self.server = None
+        #: Optional MVCC tier (see :meth:`enable_async_serving`).
+        self.async_server = None
         self.virtual_views: dict[str, VirtualView] = {}
         self.materialized_views: dict[str, MaterializedView] = {}
         self.maintainers: dict[str, object] = {}
@@ -391,6 +393,43 @@ class ViewCatalog:
             )
         return self.server
 
+    def enable_async_serving(
+        self,
+        *,
+        retention_capacity: int = 4,
+        cache_size: int = 128,
+        rebuild_threshold: float = 0.25,
+    ):
+        """Attach the epoch-pinned MVCC tier (experiment E20).
+
+        Builds an :class:`~repro.serving.mvcc.EpochServer` over the
+        catalog's store (enabling the columnar snapshot if needed) and
+        returns its :class:`~repro.serving.mvcc.AsyncQueryServer`
+        front door.  Writer batches routed through the server run this
+        catalog's :meth:`apply_batch` — views are maintained before the
+        new epoch publishes, so epoch-pinned answers see maintained
+        state; conversely, every direct :meth:`apply_batch` call also
+        publishes, keeping the retention ring current no matter which
+        door the writer used.  View-referencing queries stay on the
+        interpreted fresh path (same rule as :meth:`enable_serving`).
+        Idempotent.
+        """
+        if self.async_server is None:
+            from repro.serving.mvcc import AsyncQueryServer, EpochServer
+
+            self.enable_columnar(rebuild_threshold=rebuild_threshold)
+            core = EpochServer(
+                self.registry,
+                parent_index=self.parent_index,
+                retention_capacity=retention_capacity,
+                cache_size=cache_size,
+                cacheable=self._cacheable_query,
+                apply_fn=self.apply_batch,
+                rebuild_threshold=rebuild_threshold,
+            )
+            self.async_server = AsyncQueryServer(core)
+        return self.async_server
+
     def enable_columnar(
         self,
         *,
@@ -507,7 +546,13 @@ class ViewCatalog:
             self.store, updates, counters=self.store.counters
         )
         with self.dispatcher.batch():
-            return self.store.apply_all(fresh)
+            applied = self.store.apply_all(fresh)
+        if self.async_server is not None:
+            # Maintained state becomes the next served epoch (E20);
+            # checkpoint() re-enters the write mutex when this batch
+            # was routed through the MVCC tier itself.
+            self.async_server.core.checkpoint()
+        return applied
 
     def check(self, name: str) -> ConsistencyReport:
         """Audit a materialized view against recomputation."""

@@ -20,13 +20,25 @@ from repro.workloads.scenarios import (
     relations_db,
     web_db,
 )
+from repro.workloads.traffic import (
+    TrafficEnv,
+    TrafficEvent,
+    TrafficSpec,
+    build_traffic_env,
+    poisson_schedule,
+)
 from repro.workloads.updates import UpdateMix, UpdateStream, burst_of_tuples
 
 __all__ = [
     "PERSON_OIDS",
+    "TrafficEnv",
+    "TrafficEvent",
+    "TrafficSpec",
     "TreeSpec",
     "UpdateMix",
     "UpdateStream",
+    "build_traffic_env",
+    "poisson_schedule",
     "build_multiview_store",
     "build_multiview_views",
     "burst_of_tuples",

@@ -20,7 +20,11 @@ from repro.gsdb import ObjectStore
 from repro.gsdb.columnar import enable_columnar
 from repro.gsdb.gc import reachable_from
 from repro.paths import PathExpression, compile_expression
-from repro.paths.kernel import evaluate_on_snapshot, reachable_on_snapshot
+from repro.paths.kernel import (
+    evaluate_many_on_snapshot,
+    evaluate_on_snapshot,
+    reachable_on_snapshot,
+)
 from tests.property.support import common_settings
 
 COMMON = common_settings(15)
@@ -116,6 +120,27 @@ class TestStaticEquivalence:
         store, root = build_store(seed, nodes)
         view = enable_columnar(store).current()
         assert_all_equal(store, view, text, [root, "node3", "absent"])
+
+    @given(
+        seed=st.integers(0, 10_000),
+        nodes=st.integers(5, 60),
+        text=expression_st,
+    )
+    @settings(**COMMON)
+    def test_multi_source_matches_per_start(self, seed, nodes, text):
+        # evaluate_many must agree with the single-start kernel from
+        # every object at once — overlapping reach sets, shared
+        # substructure, cycles, and an absent start all at once.
+        store, root = build_store(seed, nodes)
+        view = enable_columnar(store).current()
+        nfa = compile_expression(PathExpression.parse(text))
+        starts = sorted(store.oids()) + ["absent", root]
+        batched = evaluate_many_on_snapshot(view, nfa, starts)
+        assert set(batched) == set(starts)
+        for start in set(starts):
+            assert batched[start] == evaluate_on_snapshot(
+                view, nfa, start
+            ), (text, start)
 
     @given(seed=st.integers(0, 10_000), nodes=st.integers(5, 40))
     @settings(**COMMON)

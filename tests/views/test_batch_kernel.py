@@ -203,7 +203,9 @@ class TestDispatcherWiring:
         assert store.counters.batch_kernel_fallbacks == 1
         assert not multiview.audit_views(views)
 
-    def test_non_tree_region_falls_back(self):
+    @staticmethod
+    def _diamond_env(definitions):
+        """A diamond (c under both a and b) plus registered views."""
         store = ObjectStore()
         store.add_set("root", "root")
         store.add_set("a", "a")
@@ -215,9 +217,8 @@ class TestDispatcherWiring:
             store.insert_edge(parent, child)
         store.add_atomic("lone", "x", 1)
         parent_index = ParentIndex(store)
-        catalog_store = store
         dispatcher = MaintenanceDispatcher(
-            catalog_store, parent_index=parent_index, subscribe=True
+            store, parent_index=parent_index, subscribe=True
         )
         enable_columnar(store)
         dispatcher.batch_kernel = True
@@ -228,21 +229,44 @@ class TestDispatcherWiring:
             populate_view,
         )
 
-        view = MaterializedView(
-            ViewDefinition.parse("define mview V as: SELECT root.x X"),
-            store,
-            ObjectStore(),
-        )
-        populate_view(view)
-        dispatcher.register(
-            SimpleViewMaintainer(
-                view, parent_index=parent_index, subscribe=False
+        for text in definitions:
+            view = MaterializedView(
+                ViewDefinition.parse(text), store, ObjectStore()
             )
+            populate_view(view)
+            dispatcher.register(
+                SimpleViewMaintainer(
+                    view, parent_index=parent_index, subscribe=False
+                )
+            )
+        return store, dispatcher
+
+    def test_non_tree_region_falls_back(self):
+        # Both diamond arms lie on registered select paths, so the
+        # restricted sweep still reaches c twice and must decline.
+        store, dispatcher = self._diamond_env(
+            [
+                "define mview VA as: SELECT root.a.c X",
+                "define mview VB as: SELECT root.b.c X",
+            ]
         )
         with dispatcher.batch():
             store.modify_value("lone", 2)
         assert dispatcher.batch_kernel_batches == 0
         assert store.counters.batch_kernel_fallbacks == 1
+
+    def test_off_path_non_tree_is_pruned(self):
+        # The diamond sits entirely off the only select path, so the
+        # label-restricted region never descends into it: no verdict
+        # can depend on it, and the kernel proceeds instead of falling
+        # back (the satellite-1 crossover win).
+        store, dispatcher = self._diamond_env(
+            ["define mview V as: SELECT root.x X"]
+        )
+        with dispatcher.batch():
+            store.modify_value("lone", 2)
+        assert dispatcher.batch_kernel_batches == 1
+        assert store.counters.batch_kernel_fallbacks == 0
 
     def test_batched_delete_shares_subtree(self):
         store, dispatcher, views = small_fixture(4)
